@@ -1,0 +1,45 @@
+//! Construction costs: venue generation, IT-Graph assembly and Algorithm 3's
+//! `Graph_Update` (the reduced-graph build that ITG/A amortises across
+//! checkpoints).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use indoor_synthetic::{build_mall, HoursConfig, MallConfig, ShopHours};
+use indoor_time::TimeOfDay;
+use itspq_core::{ItGraph, ReducedGraph};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_build_mall(c: &mut Criterion) {
+    let hours = ShopHours::sample(&HoursConfig::default());
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    for floors in [1u16, 3, 5] {
+        let cfg = MallConfig::paper_default().with_floors(floors);
+        g.bench_with_input(BenchmarkId::new("build_mall", floors), &cfg, |b, cfg| {
+            b.iter(|| build_mall(black_box(cfg), &hours));
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph_update(c: &mut Criterion) {
+    let hours = ShopHours::sample(&HoursConfig::default());
+    let space = build_mall(&MallConfig::paper_default(), &hours);
+    let graph = ItGraph::new(space);
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    // Graph_Update at a busy instant (noon) and a quiet one (3:00).
+    for (label, t) in [("noon", TimeOfDay::hm(12, 0)), ("night", TimeOfDay::hm(3, 0))] {
+        g.bench_with_input(BenchmarkId::new("graph_update", label), &t, |b, t| {
+            b.iter(|| ReducedGraph::build(black_box(graph.space()), *t));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build_mall, bench_graph_update);
+criterion_main!(benches);

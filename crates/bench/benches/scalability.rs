@@ -1,0 +1,70 @@
+//! Scalability beyond the paper's fixed five floors: venue size sweep and the
+//! extension algorithms (k-shortest, profile) on the default venue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use indoor_synthetic::{build_mall, HoursConfig, MallConfig, QueryGenConfig, ShopHours};
+use indoor_time::{DurationSecs, TimeOfDay};
+use itspq_core::{k_shortest_paths, profile::departure_profile, ItGraph, ItspqConfig, SynEngine};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_floor_scaling(c: &mut Criterion) {
+    let hours = ShopHours::sample(&HoursConfig::default());
+    let mut g = c.benchmark_group("scalability");
+    g.sample_size(15)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    for floors in [1u16, 3, 5, 7, 9] {
+        let space = build_mall(&MallConfig::paper_default().with_floors(floors), &hours);
+        let graph = ItGraph::new(space);
+        let queries: Vec<_> = indoor_synthetic::generate_queries(
+            &graph,
+            &QueryGenConfig::default().with_count(2),
+        )
+        .into_iter()
+        .map(|gq| gq.query)
+        .collect();
+        let syn = SynEngine::new(graph.clone(), ItspqConfig::default());
+        g.bench_with_input(BenchmarkId::new("itg-s/floors", floors), &queries, |b, qs| {
+            b.iter(|| {
+                qs.iter().for_each(|q| {
+                    let _ = black_box(syn.query(black_box(q)));
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let hours = ShopHours::sample(&HoursConfig::default());
+    let space = build_mall(&MallConfig::paper_default(), &hours);
+    let graph = ItGraph::new(space);
+    let q = indoor_synthetic::generate_queries(&graph, &QueryGenConfig::default().with_count(1))[0]
+        .query;
+    let mut g = c.benchmark_group("scalability");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    let cfg = ItspqConfig::full_relax();
+    g.bench_function("extensions/k-shortest-3", |b| {
+        b.iter(|| black_box(k_shortest_paths(&graph, black_box(&q), &cfg, 3)));
+    });
+    g.bench_function("extensions/profile-8h-5min", |b| {
+        b.iter(|| {
+            black_box(departure_profile(
+                &graph,
+                q.source,
+                q.target,
+                TimeOfDay::hm(8, 0),
+                TimeOfDay::hm(16, 0),
+                DurationSecs::from_minutes(5.0),
+                &ItspqConfig::default(),
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_floor_scaling, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion counterpart of Figures 4–6: ITG/S vs ITG/A search latency across
+//! the paper's parameter sweeps on the default five-floor venue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use indoor_time::TimeOfDay;
+use itspq_bench::Workload;
+use itspq_core::{AsynEngine, ItspqConfig, SynEngine};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("search");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    g
+}
+
+/// Figure 4 sweep: |T| ∈ {4, 8, 12, 16} at t = 12:00 and t = 8:00.
+fn bench_t_set(c: &mut Criterion) {
+    let mut g = quick(c);
+    for t_size in [4usize, 8, 12, 16] {
+        let w = Workload::paper(t_size);
+        for hour in [12u32, 8] {
+            let queries = w.queries(1500.0, TimeOfDay::hm(hour, 0), 2);
+            let syn = SynEngine::new(w.graph.clone(), ItspqConfig::default());
+            let asyn = AsynEngine::new(w.graph.clone(), ItspqConfig::default());
+            for q in &queries {
+                let _ = asyn.query(q); // warm the reduced-graph cache
+            }
+            g.bench_with_input(
+                BenchmarkId::new(format!("fig4/ITG-S/t={hour}"), t_size),
+                &queries,
+                |b, qs| b.iter(|| qs.iter().for_each(|q| { let _ = black_box(syn.query(black_box(q))); })),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("fig4/ITG-A/t={hour}"), t_size),
+                &queries,
+                |b, qs| b.iter(|| qs.iter().for_each(|q| { let _ = black_box(asyn.query(black_box(q))); })),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Figure 5 sweep: δs2t ∈ {1100 … 1900} m.
+fn bench_s2t(c: &mut Criterion) {
+    let w = Workload::paper(8);
+    let mut g = quick(c);
+    for delta in [1100.0, 1300.0, 1500.0, 1700.0, 1900.0] {
+        let queries = w.queries(delta, TimeOfDay::hm(12, 0), 2);
+        let syn = SynEngine::new(w.graph.clone(), ItspqConfig::default());
+        let asyn = AsynEngine::new(w.graph.clone(), ItspqConfig::default());
+        for q in &queries {
+            let _ = asyn.query(q);
+        }
+        g.bench_with_input(
+            BenchmarkId::new("fig5/ITG-S", delta as u64),
+            &queries,
+            |b, qs| b.iter(|| qs.iter().for_each(|q| { let _ = black_box(syn.query(black_box(q))); })),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("fig5/ITG-A", delta as u64),
+            &queries,
+            |b, qs| b.iter(|| qs.iter().for_each(|q| { let _ = black_box(asyn.query(black_box(q))); })),
+        );
+    }
+    g.finish();
+}
+
+/// Figure 6 sweep: query time t ∈ {0:00, 6:00, 12:00, 18:00, 22:00} (a
+/// representative subset of the paper's 12 probes to keep bench time sane).
+fn bench_query_time(c: &mut Criterion) {
+    let w = Workload::paper(8);
+    let mut g = quick(c);
+    for hour in [0u32, 6, 12, 18, 22] {
+        let queries = w.queries(1500.0, TimeOfDay::hm(hour, 0), 2);
+        let syn = SynEngine::new(w.graph.clone(), ItspqConfig::default());
+        let asyn = AsynEngine::new(w.graph.clone(), ItspqConfig::default());
+        for q in &queries {
+            let _ = asyn.query(q);
+        }
+        g.bench_with_input(BenchmarkId::new("fig6/ITG-S", hour), &queries, |b, qs| {
+            b.iter(|| qs.iter().for_each(|q| { let _ = black_box(syn.query(black_box(q))); }));
+        });
+        g.bench_with_input(BenchmarkId::new("fig6/ITG-A", hour), &queries, |b, qs| {
+            b.iter(|| qs.iter().for_each(|q| { let _ = black_box(asyn.query(black_box(q))); }));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_t_set, bench_s2t, bench_query_time);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Runs the complete evaluation of the paper: prints Tables I–II and
+//! regenerates Figures 4–7, writing CSVs under `results/`.
+//!
+//! Usage:
+//!   exp_all [--quick] [table1|table2|fig4|fig5|fig6|fig7]...
+//!
+//! With no selector, everything runs. `--quick` uses the reduced smoke grid.
+
+use std::path::Path;
+
+use itspq_bench::{figures, PaperParams, TrackingAllocator};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selectors: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--quick").collect();
+    let all = selectors.is_empty();
+    let wants = |k: &str| all || selectors.contains(&k);
+
+    let params = if quick { PaperParams::smoke() } else { PaperParams::default() };
+    let results = Path::new("results");
+
+    if wants("table1") {
+        println!("{}", figures::table1());
+    }
+    if wants("table2") {
+        println!("{}\n", params.table2());
+    }
+    for (key, fig) in [
+        ("fig4", wants("fig4").then(|| figures::fig4(&params))),
+        ("fig5", wants("fig5").then(|| figures::fig5(&params))),
+        ("fig6", wants("fig6").then(|| figures::fig6(&params))),
+        ("fig7", wants("fig7").then(|| figures::fig7(&params))),
+    ] {
+        if let Some(fig) = fig {
+            println!("{}", fig.table());
+            match fig.write_csv(results) {
+                Ok(path) => println!("wrote {}\n", path.display()),
+                Err(e) => eprintln!("could not write {key}.csv: {e}"),
+            }
+        }
+    }
+}

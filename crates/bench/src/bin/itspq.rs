@@ -1,0 +1,270 @@
+//! `itspq` — command-line front-end for the ITSPQ library.
+//!
+//! ```text
+//! itspq generate [--floors N] [--t-size N] [--seed N] --out venue.json
+//! itspq stats    venue.json
+//! itspq audit    venue.json [--origin PARTITION]
+//! itspq query    venue.json --from PID:X,Y --to PID:X,Y --at H:MM
+//!                [--method syn|asyn] [--k N] [--wait MINUTES|unlimited]
+//! itspq profile  venue.json --from PID:X,Y --to PID:X,Y
+//!                --window H:MM-H:MM [--step SECONDS]
+//! ```
+//!
+//! Points are given as a partition id plus floor-local coordinates; use
+//! `stats`/`audit` output and the venue JSON to discover ids.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use indoor_geom::Point;
+use indoor_space::{IndoorPoint, IndoorSpace, PartitionId};
+use indoor_synthetic::{build_mall, HoursConfig, MallConfig, ShopHours};
+use indoor_time::{DurationSecs, TimeOfDay};
+use itspq_core::waiting::{earliest_arrival, WaitPolicy};
+use itspq_core::{
+    k_shortest_paths, profile::departure_profile, AsynEngine, ItGraph, ItspqConfig, Query,
+    SynEngine,
+};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `itspq help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    let (positional, flags) = split_args(&args[1..]);
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{}", USAGE);
+            Ok(())
+        }
+        "generate" => generate(&flags),
+        "convert" => convert(&positional, &flags),
+        "stats" => stats(&positional),
+        "audit" => audit_cmd(&positional, &flags),
+        "query" => query_cmd(&positional, &flags),
+        "profile" => profile_cmd(&positional, &flags),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+const USAGE: &str = "\
+itspq — temporal-variation aware indoor shortest paths (ICDE 2020 reproduction)
+
+  itspq generate [--floors N] [--t-size N] [--seed N] --out venue.json
+  itspq convert  venue.{json|plan} --out venue.{plan|json}
+  itspq stats    venue.json
+  itspq audit    venue.json [--origin PARTITION]
+  itspq query    venue.json --from PID:X,Y --to PID:X,Y --at H:MM
+                 [--method syn|asyn] [--k N] [--wait MINUTES|unlimited]
+  itspq profile  venue.json --from PID:X,Y --to PID:X,Y --window H:MM-H:MM
+                 [--step SECONDS]";
+
+fn split_args(rest: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = rest.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it
+                .peek()
+                .filter(|v| !v.starts_with("--"))
+                .map(|v| (*v).clone())
+                .unwrap_or_default();
+            if !value.is_empty() {
+                it.next();
+            }
+            flags.insert(name.to_owned(), value);
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    (positional, flags)
+}
+
+/// Loads a venue from JSON or plan text (sniffed by the leading character).
+fn load_space(positional: &[String]) -> Result<IndoorSpace, String> {
+    let path = positional.first().ok_or("missing venue file")?;
+    let data = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    if data.trim_start().starts_with('{') {
+        serde_json::from_str(&data).map_err(|e| format!("parse {path}: {e}"))
+    } else {
+        indoor_space::plan_text::parse(&data).map_err(|e| format!("parse {path}: {e}"))
+    }
+}
+
+fn convert(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let space = load_space(positional)?;
+    let out = flags.get("out").ok_or("missing --out")?;
+    let text = if out.ends_with(".json") {
+        serde_json::to_string(&space).map_err(|e| e.to_string())?
+    } else {
+        indoor_space::plan_text::to_plan_text(&space)
+    };
+    std::fs::write(out, text).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out} ({})", space.stats());
+    Ok(())
+}
+
+fn parse_time(s: &str) -> Result<TimeOfDay, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let err = || format!("bad time `{s}` (expected H:MM)");
+    match parts.as_slice() {
+        [h, m] => {
+            let h: u32 = h.parse().map_err(|_| err())?;
+            let m: u32 = m.parse().map_err(|_| err())?;
+            if h > 23 || m > 59 {
+                return Err(err());
+            }
+            Ok(TimeOfDay::hm(h, m))
+        }
+        _ => Err(err()),
+    }
+}
+
+fn parse_point(space: &IndoorSpace, s: &str) -> Result<IndoorPoint, String> {
+    let err = || format!("bad point `{s}` (expected PID:X,Y, e.g. 13:4.5,2.0)");
+    let (pid, xy) = s.split_once(':').ok_or_else(err)?;
+    let (x, y) = xy.split_once(',').ok_or_else(err)?;
+    let pid: u32 = pid.parse().map_err(|_| err())?;
+    if pid as usize >= space.num_partitions() {
+        return Err(format!("partition v{pid} does not exist"));
+    }
+    Ok(IndoorPoint::new(
+        PartitionId(pid),
+        Point::new(x.parse().map_err(|_| err())?, y.parse().map_err(|_| err())?),
+    ))
+}
+
+fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let floors: u16 = flags.get("floors").map_or(Ok(5), |v| v.parse()).map_err(|_| "bad --floors")?;
+    let t_size: usize = flags.get("t-size").map_or(Ok(8), |v| v.parse()).map_err(|_| "bad --t-size")?;
+    let seed: u64 = flags.get("seed").map_or(Ok(0x5EED), |v| v.parse()).map_err(|_| "bad --seed")?;
+    let out = flags.get("out").ok_or("missing --out")?;
+    let hours = ShopHours::sample(&HoursConfig::default().with_t_size(t_size).with_seed(seed));
+    let space = build_mall(&MallConfig::paper_default().with_floors(floors), &hours);
+    println!("{}", space.stats());
+    let json = serde_json::to_string(&space).map_err(|e| e.to_string())?;
+    std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn stats(positional: &[String]) -> Result<(), String> {
+    let space = load_space(positional)?;
+    println!("{}", space.stats());
+    println!("checkpoints: {}", space.checkpoints());
+    println!("model bytes (approx): {}", space.heap_bytes());
+    Ok(())
+}
+
+fn audit_cmd(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let space = load_space(positional)?;
+    let origin: u32 = flags.get("origin").map_or(Ok(0), |v| v.parse()).map_err(|_| "bad --origin")?;
+    if origin as usize >= space.num_partitions() {
+        return Err(format!("partition v{origin} does not exist"));
+    }
+    let report = indoor_space::audit::audit(&space, PartitionId(origin));
+    println!("{report}");
+    Ok(())
+}
+
+fn query_cmd(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let space = load_space(positional)?;
+    let from = parse_point(&space, flags.get("from").ok_or("missing --from")?)?;
+    let to = parse_point(&space, flags.get("to").ok_or("missing --to")?)?;
+    let at = parse_time(flags.get("at").ok_or("missing --at")?)?;
+    let graph = ItGraph::new(space);
+    let config = ItspqConfig::default();
+    let q = Query::new(from, to, at);
+
+    if let Some(w) = flags.get("wait") {
+        let policy = if w == "unlimited" {
+            WaitPolicy::Unlimited
+        } else {
+            let mins: f64 = w.parse().map_err(|_| "bad --wait")?;
+            WaitPolicy::UpTo(DurationSecs::from_minutes(mins))
+        };
+        match earliest_arrival(&graph, &q, &config, policy) {
+            Some(tp) => println!(
+                "earliest arrival {} after {:.1} m walk and {} waiting",
+                tp.arrival, tp.walking_distance, tp.total_wait
+            ),
+            None => println!("no such routes (even with waiting)"),
+        }
+        return Ok(());
+    }
+
+    let k: usize = flags.get("k").map_or(Ok(1), |v| v.parse()).map_err(|_| "bad --k")?;
+    if k > 1 {
+        let paths = k_shortest_paths(&graph, &q, &ItspqConfig::full_relax(), k);
+        if paths.is_empty() {
+            println!("no such routes");
+        }
+        for (i, p) in paths.iter().enumerate() {
+            println!("#{}: {:.1} m  {}", i + 1, p.length, p.format_with(graph.space()));
+        }
+        return Ok(());
+    }
+
+    let result = match flags.get("method").map(String::as_str) {
+        Some("asyn") => AsynEngine::new(graph.clone(), config).query(&q),
+        _ => SynEngine::new(graph.clone(), config).query(&q),
+    };
+    match result.path {
+        Some(p) => {
+            println!("{} ({:.1} m, arrive {})", p.format_with(graph.space()), p.length, p.arrival);
+            for hop in &p.hops {
+                println!(
+                    "  {:>7.1} m  {}  at {}",
+                    hop.distance,
+                    graph.space().door(hop.door).name,
+                    hop.arrival
+                );
+            }
+        }
+        None => println!("no such routes"),
+    }
+    println!("stats: {}", result.stats);
+    Ok(())
+}
+
+fn profile_cmd(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    let space = load_space(positional)?;
+    let from = parse_point(&space, flags.get("from").ok_or("missing --from")?)?;
+    let to = parse_point(&space, flags.get("to").ok_or("missing --to")?)?;
+    let window = flags.get("window").ok_or("missing --window")?;
+    let (a, b) = window.split_once('-').ok_or("bad --window (H:MM-H:MM)")?;
+    let (wa, wb) = (parse_time(a)?, parse_time(b)?);
+    let step: f64 = flags.get("step").map_or(Ok(60.0), |v| v.parse()).map_err(|_| "bad --step")?;
+    let graph = ItGraph::new(space);
+    let profile = departure_profile(
+        &graph,
+        from,
+        to,
+        wa,
+        wb,
+        DurationSecs::new(step.max(1.0)).map_err(|e| e.to_string())?,
+        &ItspqConfig::default(),
+    );
+    for p in &profile.points {
+        match p.length {
+            Some(l) => println!("{:>8}  {l:>9.1} m", p.departure.to_string()),
+            None => println!("{:>8}  no route", p.departure.to_string()),
+        }
+    }
+    if let Some(best) = profile.best() {
+        println!("best departure: {} ({:.1} m)", best.departure, best.length.unwrap_or(f64::NAN));
+    }
+    Ok(())
+}

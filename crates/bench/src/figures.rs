@@ -1,0 +1,258 @@
+//! Regeneration of the paper's Figures 4–7 (and the setup tables).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use indoor_time::TimeOfDay;
+use itspq_core::ItspqConfig;
+
+use crate::{measure_query_set, Measurement, MethodKind, PaperParams, Workload};
+
+/// One row of a figure: an x value plus one measurement per series.
+#[derive(Debug, Clone)]
+pub struct FigRow {
+    /// The x-axis label (`|T|`, `δs2t` or `t`).
+    pub x: String,
+    /// `(series name, measurement)` pairs.
+    pub series: Vec<(String, Measurement)>,
+}
+
+/// A regenerated figure: rows plus metadata.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Short id (`fig4` …).
+    pub id: &'static str,
+    /// Human title matching the paper.
+    pub title: &'static str,
+    /// Name of the x axis.
+    pub x_name: &'static str,
+    /// The measured unit shown in tables (`us` or `KB`).
+    pub unit: &'static str,
+    /// Data rows.
+    pub rows: Vec<FigRow>,
+}
+
+impl Figure {
+    /// Renders an aligned text table of the figure.
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {} ({})", self.id, self.title, self.unit);
+        if self.rows.is_empty() {
+            return out;
+        }
+        let names: Vec<&String> = self.rows[0].series.iter().map(|(n, _)| n).collect();
+        let _ = write!(out, "{:>10}", self.x_name);
+        for n in &names {
+            let _ = write!(out, " {n:>14}");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let _ = write!(out, "{:>10}", row.x);
+            for (_, m) in &row.series {
+                let v = if self.unit == "KB" { m.mean_mem_kb } else { m.mean_time_us };
+                let _ = write!(out, " {v:>14.1}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the figure as CSV (one column per series, plus found/total).
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_name);
+        if let Some(first) = self.rows.first() {
+            for (n, _) in &first.series {
+                let _ = write!(out, ",{n} time_us,{n} mem_kb,{n} alloc_kb,{n} found");
+            }
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let _ = write!(out, "{}", row.x);
+            for (_, m) in &row.series {
+                let _ = write!(
+                    out,
+                    ",{:.2},{:.2},{:.2},{}/{}",
+                    m.mean_time_us, m.mean_mem_kb, m.alloc_peak_kb, m.found, m.total
+                );
+            }
+            out.push('\n');
+        }
+        fs::write(&path, out)?;
+        Ok(path)
+    }
+}
+
+fn both_methods(
+    w: &Workload,
+    queries: &[itspq_core::Query],
+    runs: usize,
+) -> Vec<(MethodKind, Measurement)> {
+    [MethodKind::ItgS, MethodKind::ItgA]
+        .into_iter()
+        .map(|m| {
+            (
+                m,
+                measure_query_set(&w.graph, m, ItspqConfig::default(), queries, runs),
+            )
+        })
+        .collect()
+}
+
+/// Figure 4: search time vs `|T|`, at `t = 12:00` and `t = 8:00`.
+///
+/// The four venues (one per `|T|`) are independent, so they are built in
+/// parallel with scoped threads; the timed measurements stay sequential to
+/// avoid cross-talk.
+#[must_use]
+pub fn fig4(params: &PaperParams) -> Figure {
+    let workloads: Vec<Workload> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = params
+            .t_sizes
+            .iter()
+            .map(|&t| scope.spawn(move |_| Workload::paper(t)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("venue build")).collect()
+    })
+    .expect("scoped venue builds");
+
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let t_size = w.t_size;
+        let mut series = Vec::new();
+        for probe in [TimeOfDay::hm(12, 0), TimeOfDay::hm(8, 0)] {
+            let queries = w.queries(params.default_delta, probe, params.pairs_per_setting);
+            for (m, meas) in both_methods(w, &queries, params.runs_per_query) {
+                series.push((format!("{}(t={})", m.label(), probe.hour()), meas));
+            }
+        }
+        rows.push(FigRow { x: t_size.to_string(), series });
+    }
+    Figure {
+        id: "fig4",
+        title: "Search Time vs |T|",
+        x_name: "|T|",
+        unit: "us",
+        rows,
+    }
+}
+
+/// Figure 5: search time vs `δs2t` at the default setting.
+#[must_use]
+pub fn fig5(params: &PaperParams) -> Figure {
+    let w = Workload::paper(params.default_t);
+    let mut rows = Vec::new();
+    for &delta in &params.deltas {
+        let queries = w.queries(delta, params.default_time, params.pairs_per_setting);
+        let series = both_methods(&w, &queries, params.runs_per_query)
+            .into_iter()
+            .map(|(m, meas)| (m.label().to_owned(), meas))
+            .collect();
+        rows.push(FigRow { x: format!("{delta:.0}"), series });
+    }
+    Figure {
+        id: "fig5",
+        title: "Search Time vs δs2t",
+        x_name: "δs2t (m)",
+        unit: "us",
+        rows,
+    }
+}
+
+fn time_sweep(params: &PaperParams) -> Vec<FigRow> {
+    let w = Workload::paper(params.default_t);
+    params
+        .times
+        .iter()
+        .map(|&t| {
+            let queries = w.queries(params.default_delta, t, params.pairs_per_setting);
+            let series = both_methods(&w, &queries, params.runs_per_query)
+                .into_iter()
+                .map(|(m, meas)| (m.label().to_owned(), meas))
+                .collect();
+            FigRow { x: t.to_string(), series }
+        })
+        .collect()
+}
+
+/// Figure 6: search time vs query time `t`.
+#[must_use]
+pub fn fig6(params: &PaperParams) -> Figure {
+    Figure {
+        id: "fig6",
+        title: "Search Time vs t",
+        x_name: "t",
+        unit: "us",
+        rows: time_sweep(params),
+    }
+}
+
+/// Figure 7: memory cost vs query time `t`.
+#[must_use]
+pub fn fig7(params: &PaperParams) -> Figure {
+    Figure {
+        id: "fig7",
+        title: "Memory Cost vs t",
+        x_name: "t",
+        unit: "KB",
+        rows: time_sweep(params),
+    }
+}
+
+/// Prints Table I (the running example's door ATIs) from the built venue.
+#[must_use]
+pub fn table1() -> String {
+    let ex = indoor_space::paper_example::build();
+    let mut out = String::from("TABLE I: Active Time Intervals (ATIs) of Doors\n");
+    for d in ex.space.doors() {
+        let _ = writeln!(out, "{:>4}: {}", d.name, d.atis);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_synthetic::MallConfig;
+
+    /// A miniature figure run on the single-floor mall to keep tests fast.
+    #[test]
+    fn figure_pipeline_works_end_to_end() {
+        let w = Workload::with_mall(MallConfig::single_floor(), 8);
+        let queries = w.queries(600.0, TimeOfDay::hm(12, 0), 2);
+        let series = both_methods(&w, &queries, 1)
+            .into_iter()
+            .map(|(m, meas)| (m.label().to_owned(), meas))
+            .collect();
+        let fig = Figure {
+            id: "figtest",
+            title: "test",
+            x_name: "x",
+            unit: "us",
+            rows: vec![FigRow { x: "600".into(), series }],
+        };
+        let table = fig.table();
+        assert!(table.contains("ITG/S"));
+        assert!(table.contains("600"));
+        let dir = std::env::temp_dir().join("itspq-fig-test");
+        let path = fig.write_csv(&dir).unwrap();
+        let csv = std::fs::read_to_string(path).unwrap();
+        assert!(csv.starts_with("x,ITG/S time_us"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn table1_lists_all_doors() {
+        let t = table1();
+        assert!(t.contains("d1:") || t.contains("  d1:"));
+        assert!(t.contains("d21"));
+        assert!(t.contains("[8:00, 16:00)"));
+    }
+}

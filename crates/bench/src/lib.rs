@@ -1,0 +1,25 @@
+//! Benchmark harness regenerating the ITSPQ paper's evaluation.
+//!
+//! Each figure of §III has a binary that reproduces its data series:
+//!
+//! | Paper artifact | Binary | What it sweeps |
+//! |---|---|---|
+//! | Figure 4 | `fig4` | search time vs `\|T\| ∈ {4,8,12,16}` at `t` = 12:00 and 8:00 |
+//! | Figure 5 | `fig5` | search time vs `δs2t ∈ {1100…1900}` m |
+//! | Figure 6 | `fig6` | search time vs `t ∈ {0:00, 2:00, …, 22:00}` |
+//! | Figure 7 | `fig7` | memory cost (KB) vs `t` |
+//! | Tables I–II | `exp_all` | prints the setup tables and runs every figure |
+//!
+//! Binaries print aligned tables and write `results/figN.csv`. The Criterion
+//! suite (`cargo bench`) covers the same sweeps plus ablations
+//! (PaperPruned vs FullRelax, Asyn Faithful vs Exact, warm vs cold reduced
+//! graphs, construction costs).
+
+pub mod alloc_track;
+pub mod figures;
+pub mod params;
+pub mod runner;
+
+pub use alloc_track::TrackingAllocator;
+pub use params::PaperParams;
+pub use runner::{measure_query_set, Measurement, MethodKind, Workload};

@@ -1,0 +1,106 @@
+//! The paper's Table II parameter grid.
+
+use indoor_time::TimeOfDay;
+
+/// Parameter settings for the synthetic experiments (Table II; defaults in
+/// bold in the paper).
+#[derive(Debug, Clone)]
+pub struct PaperParams {
+    /// `|T|` values: 4, **8**, 12, 16.
+    pub t_sizes: Vec<usize>,
+    /// `δs2t` values in metres: 1100, 1300, **1500**, 1700, 1900.
+    pub deltas: Vec<f64>,
+    /// Query times: 0:00, 2:00, …, **12:00**, …, 22:00.
+    pub times: Vec<TimeOfDay>,
+    /// Default `|T|`.
+    pub default_t: usize,
+    /// Default `δs2t`.
+    pub default_delta: f64,
+    /// Default query time.
+    pub default_time: TimeOfDay,
+    /// Query pairs per setting (paper: five).
+    pub pairs_per_setting: usize,
+    /// Timed repetitions per query instance (paper: ten).
+    pub runs_per_query: usize,
+}
+
+impl Default for PaperParams {
+    fn default() -> Self {
+        PaperParams {
+            t_sizes: vec![4, 8, 12, 16],
+            deltas: vec![1100.0, 1300.0, 1500.0, 1700.0, 1900.0],
+            times: (0..=22).step_by(2).map(|h| TimeOfDay::hm(h, 0)).collect(),
+            default_t: 8,
+            default_delta: 1500.0,
+            default_time: TimeOfDay::hm(12, 0),
+            pairs_per_setting: 5,
+            runs_per_query: 10,
+        }
+    }
+}
+
+impl PaperParams {
+    /// A reduced grid for smoke tests and CI.
+    #[must_use]
+    pub fn smoke() -> Self {
+        PaperParams {
+            t_sizes: vec![4, 8],
+            deltas: vec![1100.0, 1500.0],
+            times: vec![TimeOfDay::hm(8, 0), TimeOfDay::hm(12, 0)],
+            pairs_per_setting: 2,
+            runs_per_query: 2,
+            ..Self::default()
+        }
+    }
+
+    /// Renders Table II like the paper.
+    #[must_use]
+    pub fn table2(&self) -> String {
+        let times = self
+            .times
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "TABLE II: Parameter Settings for Synthetic Data\n\
+             |T|      : {:?} (default {})\n\
+             δs2t (m) : {:?} (default {})\n\
+             t        : {} (default {})\n\
+             pairs per setting: {}, runs per query: {}",
+            self.t_sizes,
+            self.default_t,
+            self.deltas,
+            self.default_delta,
+            times,
+            self.default_time,
+            self.pairs_per_setting,
+            self.runs_per_query,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let p = PaperParams::default();
+        assert_eq!(p.t_sizes, vec![4, 8, 12, 16]);
+        assert_eq!(p.deltas, vec![1100.0, 1300.0, 1500.0, 1700.0, 1900.0]);
+        assert_eq!(p.times.len(), 12);
+        assert_eq!(p.times[0], TimeOfDay::hm(0, 0));
+        assert_eq!(p.times[11], TimeOfDay::hm(22, 0));
+        assert_eq!(p.default_t, 8);
+        assert_eq!(p.pairs_per_setting, 5);
+        assert_eq!(p.runs_per_query, 10);
+    }
+
+    #[test]
+    fn table2_renders() {
+        let text = PaperParams::default().table2();
+        assert!(text.contains("1500"));
+        assert!(text.contains("12:00"));
+    }
+}

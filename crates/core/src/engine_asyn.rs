@@ -1,0 +1,325 @@
+//! Method ITG/A: Algorithm 1 + the asynchronous check of Algorithm 4 over the
+//! reduced time-dependent graphs of Algorithm 3.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use indoor_space::{DoorId, PartitionId};
+use indoor_time::{Timestamp, Velocity};
+use parking_lot::RwLock;
+
+use crate::framework::{run_search, TvChecker};
+use crate::{AsynMode, ItGraph, ItspqConfig, Query, QueryResult, ReducedGraph, SearchStats};
+
+/// The ITG/A query engine.
+///
+/// The search runs on the reduced IT-Graph of the checkpoint interval
+/// containing the query time; closed doors are pruned before expansion.
+/// Whenever a relaxation's arrival time crosses the next checkpoint,
+/// `Asyn_Check` refreshes the reduced graph via `Graph_Update` (Algorithm 3)
+/// and — in the paper's [`AsynMode::Faithful`] — rejects that relaxation.
+///
+/// Reduced graphs are cached per checkpoint interval (the asynchronous
+/// maintenance an online deployment would perform once per checkpoint);
+/// set [`ItspqConfig::cache_views`] to `false` to rebuild on every request.
+pub struct AsynEngine {
+    graph: ItGraph,
+    config: ItspqConfig,
+    cache: RwLock<HashMap<usize, Arc<ReducedGraph>>>,
+}
+
+impl AsynEngine {
+    /// Creates the engine over a graph.
+    #[must_use]
+    pub fn new(graph: ItGraph, config: ItspqConfig) -> Self {
+        AsynEngine {
+            graph,
+            config,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The engine's graph.
+    #[must_use]
+    pub fn graph(&self) -> &ItGraph {
+        &self.graph
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ItspqConfig {
+        &self.config
+    }
+
+    /// Number of reduced graphs currently cached.
+    #[must_use]
+    pub fn cached_views(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Total heap bytes of the cached reduced graphs.
+    #[must_use]
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.read().values().map(|v| v.heap_bytes()).sum()
+    }
+
+    /// Precomputes the reduced graph of every checkpoint interval (warm
+    /// start for an online deployment).
+    pub fn precompute_all(&self) {
+        let times: Vec<_> = self.graph.space().checkpoints().times().to_vec();
+        let mut stats = SearchStats::default();
+        for t in times {
+            let _ = self.view_for(t, &mut stats);
+        }
+    }
+
+    /// Drops all cached reduced graphs.
+    pub fn clear_cache(&self) {
+        self.cache.write().clear();
+    }
+
+    /// `Graph_Update(t, T)` with caching: the reduced view for the checkpoint
+    /// interval containing clock time `t`.
+    fn view_for(&self, t: indoor_time::TimeOfDay, stats: &mut SearchStats) -> Arc<ReducedGraph> {
+        let space = self.graph.space();
+        let idx = space.checkpoints().interval_index(t);
+        if self.config.cache_views {
+            if let Some(v) = self.cache.read().get(&idx) {
+                return Arc::clone(v);
+            }
+        }
+        let built = Arc::new(ReducedGraph::build(space, t));
+        stats.views_built += 1;
+        if self.config.cache_views {
+            self.cache
+                .write()
+                .entry(idx)
+                .or_insert_with(|| Arc::clone(&built));
+        }
+        Arc::clone(&built)
+    }
+
+    /// Answers `ITSPQ(ps, pt, t)`.
+    #[must_use]
+    pub fn query(&self, query: &Query) -> QueryResult {
+        let mut stats0 = SearchStats::default();
+        let t0 = query.departure();
+        let current = self.view_for(query.time, &mut stats0);
+        let mut checker = AsynChecker {
+            engine: self,
+            velocity: self.config.velocity,
+            t0,
+            next_instant: self
+                .graph
+                .space()
+                .checkpoints()
+                .next_instant(t0),
+            view_bytes: current.heap_bytes(),
+            seen_intervals: vec![current.interval_index()],
+            current,
+            mode: self.config.asyn_mode,
+            pre_stats: stats0,
+        };
+        let (path, mut stats) = run_search(&self.graph, query, &self.config, &mut checker);
+        stats.views_built += checker.pre_stats.views_built;
+        QueryResult { path, stats }
+    }
+}
+
+impl std::fmt::Debug for AsynEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsynEngine")
+            .field("cached_views", &self.cached_views())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// `Asyn_Check` (Algorithm 4) plus the reduced topology view.
+///
+/// `Faithful` follows the paper to the letter: one global current graph,
+/// advanced by `Graph_Update` whenever a relaxation's arrival crosses the
+/// next checkpoint (that relaxation is dropped). Because Dijkstra relaxes in
+/// settle order, not arrival order, a far relaxation can advance the cursor
+/// and later, *nearer* relaxations are then judged against the wrong interval
+/// — the paper's algorithm can accept a door that is closed at the actual
+/// arrival time (see the `arrive_too_early` integration tests). `Exact`
+/// instead resolves every relaxation against the reduced graph of its own
+/// arrival interval (served from the engine cache), which is equivalent to
+/// `Syn_Check` door-by-door and therefore always matches ITG/S.
+struct AsynChecker<'a> {
+    engine: &'a AsynEngine,
+    velocity: Velocity,
+    t0: Timestamp,
+    current: Arc<ReducedGraph>,
+    /// Timeline instant at which the current view expires.
+    next_instant: Timestamp,
+    /// Accumulated bytes of every distinct view consulted by this query.
+    view_bytes: usize,
+    /// Interval indices already accounted in `view_bytes`.
+    seen_intervals: Vec<usize>,
+    mode: AsynMode,
+    /// Stats accrued before the framework ran (initial view construction).
+    pre_stats: SearchStats,
+}
+
+impl AsynChecker<'_> {
+    fn account_view(&mut self, view: &ReducedGraph) {
+        if !self.seen_intervals.contains(&view.interval_index()) {
+            self.seen_intervals.push(view.interval_index());
+            self.view_bytes += view.heap_bytes();
+        }
+    }
+}
+
+impl TvChecker for AsynChecker<'_> {
+    fn leaveable(&self, v: PartitionId) -> &[DoorId] {
+        match self.mode {
+            // The paper iterates the reduced P2D of the current graph.
+            AsynMode::Faithful => self.current.leaveable(v),
+            // Exact mode must not under-prune doors whose arrival interval
+            // differs from the cursor's; it iterates the full topology and
+            // lets `check` consult the right interval.
+            AsynMode::Exact => self.engine.graph.space().p2d_leaveable(v),
+        }
+    }
+
+    fn check(&mut self, d: DoorId, dist: f64, stats: &mut SearchStats) -> bool {
+        let tarr = self.t0 + self.velocity.travel_time(dist);
+        match self.mode {
+            AsynMode::Faithful => {
+                if tarr < self.next_instant {
+                    // Within the current interval the door is open by
+                    // construction (closed doors are absent from the reduced
+                    // P2D lists). Arrivals *before* the interval — possible
+                    // after a premature update — are accepted too, exactly as
+                    // the paper's Algorithm 4 does.
+                    return true;
+                }
+                // Crossing: Graph_Update(tarr, T), then return false.
+                let view = self.engine.view_for(tarr.time_of_day(), stats);
+                self.next_instant = self
+                    .engine
+                    .graph
+                    .space()
+                    .checkpoints()
+                    .next_instant(tarr);
+                self.account_view(&view);
+                self.current = view;
+                stats.graph_updates += 1;
+                false
+            }
+            AsynMode::Exact => {
+                // Constant-time bitset lookup in the arrival interval's view.
+                let view = self.engine.view_for(tarr.time_of_day(), stats);
+                self.account_view(&view);
+                if !Arc::ptr_eq(&view, &self.current) {
+                    stats.graph_updates += 1;
+                    self.current = view;
+                }
+                self.current.is_open(d)
+            }
+        }
+    }
+
+    fn account(&self, stats: &mut SearchStats) {
+        stats.reduced_graph_bytes = self.view_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_space::paper_example;
+    use indoor_time::TimeOfDay;
+
+    fn engine(config: ItspqConfig) -> (paper_example::PaperExample, AsynEngine) {
+        let ex = paper_example::build();
+        let graph = ItGraph::new(ex.space.clone());
+        (ex, AsynEngine::new(graph, config))
+    }
+
+    #[test]
+    fn example1_matches_itg_s() {
+        let (ex, eng) = engine(ItspqConfig::default());
+        let res = eng.query(&Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0)));
+        let path = res.path.expect("path exists at 9:00");
+        assert_eq!(path.doors().collect::<Vec<_>>(), vec![ex.d(18)]);
+        assert!((path.length - 12.0).abs() < 1e-9);
+
+        let res = eng.query(&Query::new(ex.p3, ex.p4, TimeOfDay::hm(23, 30)));
+        assert!(res.path.is_none());
+    }
+
+    #[test]
+    fn caches_views_across_queries() {
+        let (ex, eng) = engine(ItspqConfig::default());
+        assert_eq!(eng.cached_views(), 0);
+        let _ = eng.query(&Query::new(ex.p1, ex.p2, TimeOfDay::hm(12, 0)));
+        let first = eng.cached_views();
+        assert!(first >= 1);
+        // Re-running the same query builds nothing new.
+        let res = eng.query(&Query::new(ex.p1, ex.p2, TimeOfDay::hm(12, 0)));
+        assert_eq!(eng.cached_views(), first);
+        assert_eq!(res.stats.views_built, 0);
+        assert!(eng.cache_bytes() > 0);
+    }
+
+    #[test]
+    fn cache_disabled_rebuilds() {
+        let (ex, eng) = engine(ItspqConfig::default().with_cache_views(false));
+        let r1 = eng.query(&Query::new(ex.p1, ex.p2, TimeOfDay::hm(12, 0)));
+        let r2 = eng.query(&Query::new(ex.p1, ex.p2, TimeOfDay::hm(12, 0)));
+        assert_eq!(eng.cached_views(), 0);
+        assert!(r1.stats.views_built >= 1);
+        assert!(r2.stats.views_built >= 1);
+    }
+
+    #[test]
+    fn precompute_builds_every_interval() {
+        let (ex, eng) = engine(ItspqConfig::default());
+        eng.precompute_all();
+        assert_eq!(eng.cached_views(), ex.space.checkpoints().len());
+        eng.clear_cache();
+        assert_eq!(eng.cached_views(), 0);
+    }
+
+    #[test]
+    fn reduced_graph_bytes_accounted() {
+        let (ex, eng) = engine(ItspqConfig::default());
+        let res = eng.query(&Query::new(ex.p1, ex.p2, TimeOfDay::hm(12, 0)));
+        assert!(res.stats.reduced_graph_bytes > 0);
+        assert!(res.stats.estimated_bytes() > res.stats.search_bytes);
+    }
+
+    #[test]
+    fn exact_mode_agrees_with_syn_on_checkpoint_crossing() {
+        // A query whose walk crosses the 16:00 checkpoint: start at 15:59
+        // from p1; several [8:00,16:00) doors will close mid-walk.
+        let ex = paper_example::build();
+        let graph = ItGraph::new(ex.space.clone());
+        let syn = crate::SynEngine::new(graph.clone(), ItspqConfig::default());
+        let asyn_exact =
+            AsynEngine::new(graph, ItspqConfig::default().with_asyn_mode(AsynMode::Exact));
+        for (h, m) in [(15, 55), (15, 59), (22, 58), (5, 58)] {
+            let q = Query::new(ex.p1, ex.p2, TimeOfDay::hm(h, m));
+            let a = syn.query(&q);
+            let b = asyn_exact.query(&q);
+            assert_eq!(
+                a.path.as_ref().map(|p| p.doors().collect::<Vec<_>>()),
+                b.path.as_ref().map(|p| p.doors().collect::<Vec<_>>()),
+                "ITG/S and ITG/A(Exact) disagree at {h}:{m}"
+            );
+        }
+    }
+
+    #[test]
+    fn faithful_mode_reports_graph_updates() {
+        let (ex, eng) = engine(ItspqConfig::default());
+        // Starting 10 s before the 16:00 checkpoint: at 5 km/h only ~14 m fit
+        // into the current interval, so relaxations beyond that refresh the
+        // reduced graph.
+        let res = eng.query(&Query::new(ex.p1, ex.p2, TimeOfDay::hms(15, 59, 50)));
+        assert!(res.stats.graph_updates > 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Method ITG/S: Algorithm 1 + the synchronous check of Algorithm 2.
+
+use indoor_space::{DoorId, IndoorSpace, PartitionId};
+use indoor_time::{Timestamp, Velocity};
+
+use crate::framework::{run_search, TvChecker};
+use crate::{ItGraph, ItspqConfig, Query, QueryResult, SearchStats};
+
+/// `Syn_Check` (Algorithm 2): look up the door's ATIs at the arrival time
+/// `t + dist / velocity`.
+struct SynChecker<'a> {
+    space: &'a IndoorSpace,
+    velocity: Velocity,
+    t0: Timestamp,
+}
+
+impl TvChecker for SynChecker<'_> {
+    fn leaveable(&self, v: PartitionId) -> &[DoorId] {
+        self.space.p2d_leaveable(v)
+    }
+
+    fn check(&mut self, d: DoorId, dist: f64, _stats: &mut SearchStats) -> bool {
+        let tarr = self.t0 + self.velocity.travel_time(dist);
+        self.space.door(d).atis.is_open_at(tarr)
+    }
+
+    fn account(&self, _stats: &mut SearchStats) {}
+}
+
+/// The ITG/S query engine: every encountered door is validated against its
+/// ATIs at the projected arrival time.
+#[derive(Debug, Clone)]
+pub struct SynEngine {
+    graph: ItGraph,
+    config: ItspqConfig,
+}
+
+impl SynEngine {
+    /// Creates the engine over a graph.
+    #[must_use]
+    pub fn new(graph: ItGraph, config: ItspqConfig) -> Self {
+        SynEngine { graph, config }
+    }
+
+    /// The engine's graph.
+    #[must_use]
+    pub fn graph(&self) -> &ItGraph {
+        &self.graph
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ItspqConfig {
+        &self.config
+    }
+
+    /// Answers `ITSPQ(ps, pt, t)`.
+    #[must_use]
+    pub fn query(&self, query: &Query) -> QueryResult {
+        let mut checker = SynChecker {
+            space: self.graph.space(),
+            velocity: self.config.velocity,
+            t0: query.departure(),
+        };
+        let (path, stats) = run_search(&self.graph, query, &self.config, &mut checker);
+        QueryResult { path, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_space::paper_example;
+    use indoor_time::TimeOfDay;
+
+    fn engine() -> (paper_example::PaperExample, SynEngine) {
+        let ex = paper_example::build();
+        let graph = ItGraph::new(ex.space.clone());
+        (ex, SynEngine::new(graph, ItspqConfig::default()))
+    }
+
+    #[test]
+    fn example1_at_9_takes_d18() {
+        let (ex, eng) = engine();
+        let res = eng.query(&Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0)));
+        let path = res.path.expect("path exists at 9:00");
+        assert_eq!(path.doors().collect::<Vec<_>>(), vec![ex.d(18)]);
+        assert!((path.length - 12.0).abs() < 1e-9);
+        assert_eq!(path.format_with(&ex.space), "(ps, d18, pt)");
+        assert!(res.stats.doors_settled > 0);
+    }
+
+    #[test]
+    fn example1_at_2330_has_no_route() {
+        let (ex, eng) = engine();
+        let res = eng.query(&Query::new(ex.p3, ex.p4, TimeOfDay::hm(23, 30)));
+        assert!(res.path.is_none());
+        assert!(res.stats.tv_rejections > 0);
+    }
+
+    #[test]
+    fn private_shortcut_would_win_if_public() {
+        // Sanity for the test fixture: the rejected v15 route is shorter.
+        let (ex, _) = engine();
+        let s = &ex.space;
+        let via_v15 = s.point_to_door(&ex.p3, ex.d(15)).unwrap()
+            + s.door_to_door(ex.v(15), ex.d(15), ex.d(16)).unwrap()
+            + s.point_to_door(&ex.p4, ex.d(16)).unwrap();
+        assert!(via_v15 < 12.0);
+    }
+
+    #[test]
+    fn same_partition_query_is_direct() {
+        let (ex, eng) = engine();
+        let other = indoor_space::IndoorPoint::new(ex.p3.partition, indoor_geom::Point::new(3.0, 4.0));
+        let res = eng.query(&Query::new(ex.p3, other, TimeOfDay::hm(3, 0)));
+        let path = res.path.unwrap();
+        assert!(path.hops.is_empty());
+        assert!((path.length - 5.0).abs() < 1e-12);
+        // Direct paths cross no door, so they work even at night.
+    }
+
+    #[test]
+    fn source_in_private_partition_can_leave() {
+        // p in v15 (private) must still route out: rule 2 excepts P(ps).
+        let (ex, eng) = engine();
+        let src = indoor_space::IndoorPoint::new(ex.v(15), indoor_geom::Point::new(5.0, 0.0));
+        let res = eng.query(&Query::new(src, ex.p4, TimeOfDay::hm(12, 0)));
+        let path = res.path.expect("can leave a private source partition");
+        assert_eq!(path.doors().next(), Some(ex.d(16)));
+    }
+
+    #[test]
+    fn target_in_private_partition_can_be_reached() {
+        let (ex, eng) = engine();
+        let dst = indoor_space::IndoorPoint::new(ex.v(15), indoor_geom::Point::new(5.0, 0.0));
+        let res = eng.query(&Query::new(ex.p3, dst, TimeOfDay::hm(12, 0)));
+        let path = res.path.expect("can enter a private target partition");
+        let doors: Vec<_> = path.doors().collect();
+        assert_eq!(doors.last(), Some(&ex.d(15)).or(Some(&ex.d(16))));
+    }
+
+    #[test]
+    fn no_route_to_isolated_private_room_after_hours() {
+        // v1's only door d1 is open [5:00, 23:00); at 4:00 it cannot be
+        // reached …
+        let (ex, eng) = engine();
+        let dst = indoor_space::IndoorPoint::new(ex.v(1), indoor_geom::Point::new(5.0, 35.0));
+        let src = indoor_space::IndoorPoint::new(ex.v(3), indoor_geom::Point::new(8.0, 31.0));
+        let res = eng.query(&Query::new(src, dst, TimeOfDay::hm(4, 0)));
+        assert!(res.path.is_none());
+        // … but at noon it can.
+        let res = eng.query(&Query::new(src, dst, TimeOfDay::hm(12, 0)));
+        assert!(res.path.is_some());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (ex, eng) = engine();
+        let res = eng.query(&Query::new(ex.p1, ex.p2, TimeOfDay::hm(12, 0)));
+        assert!(res.path.is_some());
+        let s = res.stats;
+        assert!(s.heap_pushes > 0);
+        assert!(s.heap_pops > 0);
+        assert!(s.tv_checks >= s.tv_rejections);
+        assert!(s.search_bytes > 0);
+        assert_eq!(s.graph_updates, 0); // ITG/S never updates graphs
+        assert_eq!(s.reduced_graph_bytes, 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Algorithm 1 — `ITSPQ_ITGraph`: the shared search framework.
+//!
+//! The framework is a Dijkstra-style expansion over doors using each
+//! partition's distance matrix for intra-partition hops, parameterised by a
+//! [`TvChecker`]: the synchronous check of Algorithm 2 (ITG/S) or the
+//! asynchronous reduced-graph check of Algorithm 4 (ITG/A).
+//!
+//! Two deliberate deviations from the paper's pseudo-code, neither affecting
+//! results (see `DESIGN.md` §6):
+//!
+//! * doors are inserted into the priority queue lazily instead of enheaping
+//!   every door with distance ∞ upfront (lines 2–5) — the "pop ∞ ⇒ no route"
+//!   exit becomes "queue exhausted ⇒ no route";
+//! * line 30's `if TV_Check(…) then continue` is read as *skip the door when
+//!   the check fails*, the only reading under which Example 1 returns the
+//!   paper's answer.
+
+use indoor_space::{DoorId, IndoorSpace, PartitionId};
+
+use crate::heap::{MinHeap, Node};
+use crate::{DoorHop, ExpandPolicy, ItGraph, ItspqConfig, Path, Query, SearchStats};
+
+/// The pluggable temporal-variation strategy: a topology view plus `TV_Check`.
+pub(crate) trait TvChecker {
+    /// The doors through which partition `v` can currently be left.
+    fn leaveable(&self, v: PartitionId) -> &[DoorId];
+
+    /// `TV_Check(d, dist, t)`: whether door `d`, reached after walking `dist`
+    /// metres from `ps`, is usable. ITG/A may refresh its reduced view here.
+    fn check(&mut self, d: DoorId, dist: f64, stats: &mut SearchStats) -> bool;
+
+    /// Final accounting hook (reduced-graph bytes for ITG/A).
+    fn account(&self, stats: &mut SearchStats);
+}
+
+/// Predecessor of a relaxed door.
+#[derive(Debug, Clone, Copy)]
+struct PrevEntry {
+    /// Partition crossed to reach the door.
+    via: PartitionId,
+    /// Previous door index, or `None` when coming directly from `ps`.
+    from: Option<u32>,
+}
+
+struct SearchState {
+    dist: Vec<f64>,
+    prev: Vec<Option<PrevEntry>>,
+    settled: Vec<bool>,
+    visited_parts: Vec<bool>,
+    enters_target: Vec<bool>,
+    heap: MinHeap,
+    scratch: Vec<DoorId>,
+    target_dist: f64,
+    target_prev: Option<u32>,
+    /// Distinct doors whose tentative distance left ∞ — the populated part of
+    /// the search state, which is what a map-based implementation (like the
+    /// paper's Java one) would actually hold.
+    touched_doors: usize,
+}
+
+impl SearchState {
+    fn new(space: &IndoorSpace, target_partition: PartitionId) -> Self {
+        let n = space.num_doors();
+        let mut enters_target = vec![false; n];
+        for &d in space.p2d_enterable(target_partition) {
+            enters_target[d.index()] = true;
+        }
+        SearchState {
+            dist: vec![f64::INFINITY; n],
+            prev: vec![None; n],
+            settled: vec![false; n],
+            visited_parts: vec![false; space.num_partitions()],
+            enters_target,
+            heap: MinHeap::new(),
+            scratch: Vec::new(),
+            target_dist: f64::INFINITY,
+            target_prev: None,
+            touched_doors: 0,
+        }
+    }
+
+    /// The paper's memory-cost metric counts the *populated* search state —
+    /// per touched door a map entry of distance, predecessor and flags — plus
+    /// the priority queue at its peak. A dense-array implementation would add
+    /// a constant O(|doors|) that hides the day-curve of Figure 7.
+    fn search_bytes(&self) -> usize {
+        const PER_DOOR_ENTRY: usize = std::mem::size_of::<f64>()
+            + std::mem::size_of::<Option<PrevEntry>>()
+            + 2 * std::mem::size_of::<u64>(); // map-entry overhead (key + bucket)
+        self.touched_doors * PER_DOOR_ENTRY
+            + self.heap.peak() * std::mem::size_of::<crate::heap::Entry>()
+            + self.scratch.capacity() * std::mem::size_of::<DoorId>()
+    }
+}
+
+/// Runs Algorithm 1 and reconstructs the path (lines 11–17).
+pub(crate) fn run_search<C: TvChecker>(
+    graph: &ItGraph,
+    query: &Query,
+    config: &ItspqConfig,
+    checker: &mut C,
+) -> (Option<Path>, SearchStats) {
+    let space = graph.space();
+    let mut stats = SearchStats::default();
+    let t0 = query.departure();
+    let src_p = query.source.partition;
+    let dst_p = query.target.partition;
+
+    // Both endpoints in one partition: the straight segment is valid (no door
+    // is crossed) and, partitions being decomposed into near-convex cells,
+    // shortest.
+    if src_p == dst_p {
+        let length = query.source.position.distance(query.target.position);
+        checker.account(&mut stats);
+        let path = Path {
+            source: query.source,
+            target: query.target,
+            hops: Vec::new(),
+            length,
+            departure: t0,
+            arrival: t0 + config.velocity.travel_time(length),
+        };
+        return (Some(path), stats);
+    }
+
+    let mut st = SearchState::new(space, dst_p);
+
+    // Rule 2: private partitions may be traversed only if they contain ps/pt.
+    let allowed = |v: PartitionId| -> bool {
+        v == src_p || v == dst_p || space.partition(v).kind.traversable()
+    };
+
+    // Source expansion: Algorithm 1 with di = ps, v = P(ps).
+    st.visited_parts[src_p.index()] = true;
+    stats.partitions_expanded += 1;
+    expand_partition(space, config, query, checker, &mut st, &mut stats, src_p, None, 0.0, &allowed);
+
+    while let Some(entry) = st.heap.pop() {
+        stats.heap_pops += 1;
+        let di = match entry.node {
+            Node::Target => {
+                if entry.dist > st.target_dist {
+                    continue; // stale: the target improved after this push
+                }
+                let path = reconstruct(space, query, config, &st, t0);
+                stats.search_bytes = st.search_bytes();
+                checker.account(&mut stats);
+                return (Some(path), stats);
+            }
+            Node::Door(i) => i,
+        };
+        if st.settled[di as usize] {
+            continue; // stale heap entry
+        }
+        st.settled[di as usize] = true;
+        stats.doors_settled += 1;
+        let door = DoorId(di);
+        let d_di = st.dist[di as usize];
+
+        // Lines 20–24: a door that can enter P(pt) relaxes pt directly …
+        if st.enters_target[di as usize] {
+            if let Some(pd) = space.point_to_door(&query.target, door) {
+                let cand = d_di + pd;
+                if cand < st.target_dist {
+                    st.target_dist = cand;
+                    st.target_prev = Some(di);
+                    st.heap.push(cand, Node::Target);
+                    stats.heap_pushes += 1;
+                }
+            }
+            // … and, in the paper's reading, is not expanded any further.
+            if config.expand == ExpandPolicy::PaperPruned {
+                continue;
+            }
+        }
+
+        // Lines 18–19 / full relaxation: choose partitions to expand.
+        let came_from = st.prev[di as usize].map(|p| p.via);
+        for vi in 0..space.d2p_enterable(door).len() {
+            let v = space.d2p_enterable(door)[vi];
+            if !allowed(v) {
+                continue;
+            }
+            match config.expand {
+                ExpandPolicy::PaperPruned => {
+                    if st.visited_parts[v.index()] {
+                        continue;
+                    }
+                    st.visited_parts[v.index()] = true;
+                }
+                ExpandPolicy::FullRelax => {
+                    // Never expand back into the partition the door was
+                    // reached through: distance-wise it cannot help (DM
+                    // triangle inequality), and time-wise it would let paths
+                    // *touch* a door to burn walking time until another door
+                    // opens — waiting in disguise, which the paper's
+                    // semantics exclude (footnote 2).
+                    if Some(v) == came_from {
+                        continue;
+                    }
+                }
+            }
+            stats.partitions_expanded += 1;
+            expand_partition(
+                space, config, query, checker, &mut st, &mut stats, v,
+                Some(di), d_di, &allowed,
+            );
+        }
+    }
+
+    stats.search_bytes = st.search_bytes();
+    checker.account(&mut stats);
+    (None, stats) // line 10: "no such routes"
+}
+
+/// Lines 25–34: relax every (currently usable) leaveable door of `v`.
+#[allow(clippy::too_many_arguments)]
+fn expand_partition<C: TvChecker>(
+    space: &IndoorSpace,
+    config: &ItspqConfig,
+    query: &Query,
+    checker: &mut C,
+    st: &mut SearchState,
+    stats: &mut SearchStats,
+    v: PartitionId,
+    from: Option<u32>,
+    base_dist: f64,
+    allowed: &dyn Fn(PartitionId) -> bool,
+) {
+    // Copy the view's door list: ITG/A's check() may swap the view mid-loop.
+    st.scratch.clear();
+    st.scratch.extend_from_slice(checker.leaveable(v));
+    let mut k = 0;
+    while k < st.scratch.len() {
+        let dj = st.scratch[k];
+        k += 1;
+        if Some(dj.index() as u32) == from {
+            continue;
+        }
+        if st.settled[dj.index()] {
+            continue; // line 26: only unvisited doors
+        }
+
+        // Line 27–28: discard doors whose continuation is a forbidden private
+        // partition (doors into P(ps)/P(pt) stay usable).
+        if config.expand == ExpandPolicy::PaperPruned {
+            let continues = space
+                .d2p_enterable(dj)
+                .iter()
+                .any(|&u| u != v && allowed(u));
+            if !continues {
+                continue;
+            }
+        }
+
+        // Line 29: dist_j = dist[di] + DM(v, di, dj)  (or |ps, dj| from ps).
+        let weight = match from {
+            Some(di) => space.door_to_door(v, DoorId(di), dj),
+            None => space.point_to_door(&query.source, dj),
+        };
+        let Some(weight) = weight else { continue };
+        let cand = base_dist + weight;
+        stats.relaxations += 1;
+
+        // Line 30: TV_Check(dj, dist_j, t).
+        stats.tv_checks += 1;
+        if !checker.check(dj, cand, stats) {
+            stats.tv_rejections += 1;
+            continue;
+        }
+
+        // Lines 31–34.
+        if cand < st.dist[dj.index()] {
+            if st.dist[dj.index()].is_infinite() {
+                st.touched_doors += 1;
+            }
+            st.dist[dj.index()] = cand;
+            st.prev[dj.index()] = Some(PrevEntry { via: v, from });
+            st.heap.push(cand, Node::Door(dj.index() as u32));
+            stats.heap_pushes += 1;
+            stats.improvements += 1;
+        }
+    }
+}
+
+/// Lines 11–17: walk the `prev` chain back from `pt` and emit hops in order.
+fn reconstruct(
+    _space: &IndoorSpace,
+    query: &Query,
+    config: &ItspqConfig,
+    st: &SearchState,
+    t0: indoor_time::Timestamp,
+) -> Path {
+    let mut doors_rev: Vec<u32> = Vec::new();
+    let mut cur = st.target_prev.expect("target popped ⇒ predecessor set");
+    loop {
+        doors_rev.push(cur);
+        match st.prev[cur as usize].expect("relaxed doors have predecessors").from {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+    doors_rev.reverse();
+
+    let hops = doors_rev
+        .iter()
+        .map(|&di| {
+            let p = st.prev[di as usize].expect("on path");
+            let d = st.dist[di as usize];
+            DoorHop {
+                door: DoorId(di),
+                via_partition: p.via,
+                distance: d,
+                arrival: t0 + config.velocity.travel_time(d),
+            }
+        })
+        .collect();
+
+    let length = st.target_dist;
+    Path {
+        source: query.source,
+        target: query.target,
+        hops,
+        length,
+        departure: t0,
+        arrival: t0 + config.velocity.travel_time(length),
+    }
+}

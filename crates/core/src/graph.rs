@@ -1,0 +1,157 @@
+//! The indoor temporal-variation graph (IT-Graph).
+
+use std::sync::Arc;
+
+use indoor_space::{DoorId, DoorKind, IndoorSpace, PartitionId, PartitionKind};
+use indoor_time::AtiList;
+
+/// The paper's IT-Graph `G_IT(V, E, L_V, L_E)`.
+///
+/// Vertices are the venue's partitions, labelled `(IDv, p-type, DM)`; directed
+/// edges are door crossings `(v_i, v_j, d_k)`, labelled `(IDd, d-type, ATIs)`.
+/// The structure wraps a shared [`IndoorSpace`] (which already materialises
+/// the labels and the `P2D`/`D2P` accessibility mappings) and exposes them in
+/// the paper's vocabulary, plus the derived edge list.
+///
+/// Cloning an `ItGraph` is cheap (it shares the venue via [`Arc`]), which is
+/// how the ITG/S and ITG/A engines hold the same graph.
+#[derive(Debug, Clone)]
+pub struct ItGraph {
+    space: Arc<IndoorSpace>,
+}
+
+/// One directed edge `(from, to, door)` of the IT-Graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItEdge {
+    /// Vertex the edge leaves.
+    pub from: PartitionId,
+    /// Vertex the edge enters.
+    pub to: PartitionId,
+    /// The door crossed.
+    pub door: DoorId,
+}
+
+impl ItGraph {
+    /// Builds the IT-Graph over a venue.
+    #[must_use]
+    pub fn new(space: IndoorSpace) -> Self {
+        ItGraph { space: Arc::new(space) }
+    }
+
+    /// Builds the IT-Graph over an already shared venue.
+    #[must_use]
+    pub fn from_arc(space: Arc<IndoorSpace>) -> Self {
+        ItGraph { space }
+    }
+
+    /// The underlying venue.
+    #[must_use]
+    pub fn space(&self) -> &IndoorSpace {
+        &self.space
+    }
+
+    /// A shareable handle to the venue.
+    #[must_use]
+    pub fn space_arc(&self) -> Arc<IndoorSpace> {
+        Arc::clone(&self.space)
+    }
+
+    /// `|V|`: number of vertices (partitions).
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.space.num_partitions()
+    }
+
+    /// Number of doors (distinct edge labels); `πD(E)` in the paper.
+    #[must_use]
+    pub fn door_count(&self) -> usize {
+        self.space.num_doors()
+    }
+
+    /// `|E|`: number of directed door-crossing edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges().count()
+    }
+
+    /// All directed edges `(v_i, v_j, d_k)`: one per (leaveable partition,
+    /// enterable partition) pair of each door.
+    pub fn edges(&self) -> impl Iterator<Item = ItEdge> + '_ {
+        (0..self.space.num_doors()).flat_map(move |i| {
+            let door = DoorId::from_index(i);
+            self.space.d2p_leaveable(door).iter().flat_map(move |&from| {
+                self.space
+                    .d2p_enterable(door)
+                    .iter()
+                    .filter(move |&&to| to != from)
+                    .map(move |&to| ItEdge { from, to, door })
+            })
+        })
+    }
+
+    /// The vertex label `(IDv, p-type, DM)` of a partition, paper-style.
+    #[must_use]
+    pub fn vertex_label(&self, v: PartitionId) -> (PartitionId, PartitionKind, usize) {
+        let rec = self.space.partition(v);
+        (rec.id, rec.kind, self.space.distance_matrix(v).len())
+    }
+
+    /// The edge label `(IDd, d-type, ATIs)` of a door, paper-style.
+    #[must_use]
+    pub fn edge_label(&self, d: DoorId) -> (DoorId, DoorKind, &AtiList) {
+        let rec = self.space.door(d);
+        (rec.id, rec.kind, &rec.atis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_space::paper_example;
+
+    #[test]
+    fn counts_on_paper_example() {
+        let ex = paper_example::build();
+        let g = ItGraph::new(ex.space.clone());
+        assert_eq!(g.vertex_count(), 18);
+        assert_eq!(g.door_count(), 21);
+        // 20 two-way doors contribute 2 directed edges each; the one-way d3
+        // contributes 1.
+        assert_eq!(g.edge_count(), 41);
+    }
+
+    #[test]
+    fn edges_respect_directionality() {
+        let ex = paper_example::build();
+        let g = ItGraph::new(ex.space.clone());
+        let d3_edges: Vec<ItEdge> = g.edges().filter(|e| e.door == ex.d(3)).collect();
+        assert_eq!(
+            d3_edges,
+            vec![ItEdge { from: ex.v(3), to: ex.v(16), door: ex.d(3) }]
+        );
+        let d1_edges: Vec<ItEdge> = g.edges().filter(|e| e.door == ex.d(1)).collect();
+        assert_eq!(d1_edges.len(), 2);
+    }
+
+    #[test]
+    fn labels_paper_style() {
+        let ex = paper_example::build();
+        let g = ItGraph::new(ex.space.clone());
+        let (id, ptype, dm_len) = g.vertex_label(ex.v(16));
+        assert_eq!(id, ex.v(16));
+        assert_eq!(ptype, PartitionKind::Public);
+        assert_eq!(dm_len, 3);
+        let (did, dtype, atis) = g.edge_label(ex.d(7));
+        assert_eq!(did, ex.d(7));
+        assert_eq!(dtype, DoorKind::Private);
+        assert!(atis.has_variation());
+    }
+
+    #[test]
+    fn clones_share_the_space() {
+        let ex = paper_example::build();
+        let g = ItGraph::new(ex.space);
+        let h = g.clone();
+        assert!(Arc::ptr_eq(&g.space_arc(), &h.space_arc()));
+    }
+}

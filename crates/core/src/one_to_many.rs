@@ -1,0 +1,221 @@
+//! Extension: single-source valid-distance maps.
+//!
+//! Evacuation planning, coverage analysis and facility dashboards need "how
+//! far is everything from here, *right now*" rather than a single target:
+//! this module runs the ITSPQ expansion (ITG/S semantics, full relaxation)
+//! from one point and reports the valid shortest distance to **every door**
+//! and to **every partition** (through its nearest open, enterable door).
+//!
+//! The same two rules apply per relaxation: doors must be open at the
+//! arrival time; private partitions are traversed only if they contain the
+//! source (every partition may still be *entered* as a final destination —
+//! mirroring `pt`'s exemption, any partition can be someone's target).
+
+use indoor_space::{DoorId, IndoorPoint, PartitionId};
+use indoor_time::{TimeOfDay, Timestamp};
+
+use crate::heap::{MinHeap, Node};
+use crate::{ItGraph, ItspqConfig};
+
+/// The result of a one-to-many sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReachabilityMap {
+    /// The source point.
+    pub source: IndoorPoint,
+    /// Departure time.
+    pub time: TimeOfDay,
+    /// Valid shortest distance to each door (`f64::INFINITY` if unreachable
+    /// under the temporal rules).
+    pub door_distance: Vec<f64>,
+    /// Valid shortest distance to each partition: the best
+    /// `door_distance[d]` over its open enterable doors (the source's own
+    /// partition has distance 0).
+    pub partition_distance: Vec<f64>,
+}
+
+impl ReachabilityMap {
+    /// Distance to a door.
+    #[must_use]
+    pub fn to_door(&self, d: DoorId) -> f64 {
+        self.door_distance[d.index()]
+    }
+
+    /// Distance to a partition (to its nearest valid entry door).
+    #[must_use]
+    pub fn to_partition(&self, p: PartitionId) -> f64 {
+        self.partition_distance[p.index()]
+    }
+
+    /// Number of partitions currently reachable.
+    #[must_use]
+    pub fn reachable_partitions(&self) -> usize {
+        self.partition_distance.iter().filter(|d| d.is_finite()).count()
+    }
+}
+
+/// Computes valid shortest distances from `source` at `time` to every door
+/// and partition.
+#[must_use]
+pub fn reachability(
+    graph: &ItGraph,
+    source: IndoorPoint,
+    time: TimeOfDay,
+    config: &ItspqConfig,
+) -> ReachabilityMap {
+    let space = graph.space();
+    let n = space.num_doors();
+    let t0 = Timestamp::from_time_of_day(time);
+
+    let mut dist = vec![f64::INFINITY; n];
+    let mut came_from: Vec<Option<PartitionId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = MinHeap::new();
+
+    let traversable = |v: PartitionId| -> bool {
+        v == source.partition || space.partition(v).kind.traversable()
+    };
+
+    {
+        let v = source.partition;
+        for &dj in space.p2d_leaveable(v) {
+            if let Some(w) = space.point_to_door(&source, dj) {
+                let tarr = t0 + config.velocity.travel_time(w);
+                if space.door(dj).atis.is_open_at(tarr) && w < dist[dj.index()] {
+                    dist[dj.index()] = w;
+                    came_from[dj.index()] = Some(v);
+                    heap.push(w, Node::Door(dj.index() as u32));
+                }
+            }
+        }
+    }
+
+    while let Some(entry) = heap.pop() {
+        let Node::Door(di) = entry.node else { continue };
+        if settled[di as usize] {
+            continue;
+        }
+        settled[di as usize] = true;
+        let door = DoorId(di);
+        let base = dist[di as usize];
+        for vi in 0..space.d2p_enterable(door).len() {
+            let v = space.d2p_enterable(door)[vi];
+            // Expansion continues only through traversable partitions, and
+            // never straight back through the entry side.
+            if Some(v) == came_from[di as usize] || !traversable(v) {
+                continue;
+            }
+            for &dj in space.p2d_leaveable(v) {
+                if dj.index() as u32 == di || settled[dj.index()] {
+                    continue;
+                }
+                let Some(w) = space.door_to_door(v, door, dj) else { continue };
+                let cand = base + w;
+                let tarr = t0 + config.velocity.travel_time(cand);
+                if !space.door(dj).atis.is_open_at(tarr) {
+                    continue;
+                }
+                if cand < dist[dj.index()] {
+                    dist[dj.index()] = cand;
+                    came_from[dj.index()] = Some(v);
+                    heap.push(cand, Node::Door(dj.index() as u32));
+                }
+            }
+        }
+    }
+
+    // Partition distances: best open enterable door.
+    let mut partition_distance = vec![f64::INFINITY; space.num_partitions()];
+    partition_distance[source.partition.index()] = 0.0;
+    for (pi, pd) in partition_distance.iter_mut().enumerate() {
+        if pi == source.partition.index() {
+            continue;
+        }
+        let p = PartitionId::from_index(pi);
+        for &d in space.p2d_enterable(p) {
+            if dist[d.index()] < *pd {
+                *pd = dist[d.index()];
+            }
+        }
+    }
+
+    ReachabilityMap {
+        source,
+        time,
+        door_distance: dist,
+        partition_distance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ItspqConfig, Query, SynEngine};
+    use indoor_space::paper_example;
+
+    fn setup() -> (paper_example::PaperExample, ItGraph) {
+        let ex = paper_example::build();
+        let g = ItGraph::new(ex.space.clone());
+        (ex, g)
+    }
+
+    #[test]
+    fn noon_reaches_everything_reachable() {
+        let (ex, g) = setup();
+        let map = reachability(&g, ex.p1, TimeOfDay::hm(12, 0), &ItspqConfig::default());
+        // All 18 partitions enterable at noon (v0 outdoors via d14 too).
+        assert_eq!(map.reachable_partitions(), 18);
+        // Source partition is at distance zero.
+        assert_eq!(map.to_partition(ex.p1.partition), 0.0);
+    }
+
+    #[test]
+    fn night_reaches_almost_nothing() {
+        let (ex, g) = setup();
+        // At 4:00 most Table I doors are closed.
+        let map = reachability(&g, ex.p3, TimeOfDay::hm(4, 0), &ItspqConfig::default());
+        assert!(map.reachable_partitions() < 8);
+        // d18 is open [0:00,23:00): v14 is reachable.
+        assert!(map.to_partition(ex.v(14)).is_finite());
+        // d15 ([8:00,16:00)) is closed: v15 is not.
+        assert!(map.to_partition(ex.v(15)).is_infinite());
+    }
+
+    #[test]
+    fn agrees_with_single_target_queries() {
+        let (ex, g) = setup();
+        let cfg = ItspqConfig::full_relax();
+        let map = reachability(&g, ex.p1, TimeOfDay::hm(12, 0), &cfg);
+        let engine = SynEngine::new(g.clone(), cfg);
+        // For each named point, the point-to-point query must cost the
+        // distance to some enterable door of its partition plus the final
+        // leg; in particular it is lower-bounded by the partition distance.
+        for target in [ex.p2, ex.p3, ex.p4] {
+            let q = Query::new(ex.p1, target, TimeOfDay::hm(12, 0));
+            let path = engine.query(&q).path.expect("reachable at noon");
+            assert!(
+                path.length >= map.to_partition(target.partition) - 1e-9,
+                "path {} shorter than partition bound {}",
+                path.length,
+                map.to_partition(target.partition)
+            );
+            // And the last door's map distance matches the hop bookkeeping.
+            if let Some(last) = path.hops.last() {
+                assert!(map.to_door(last.door) <= last.distance + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn private_partitions_are_enterable_but_not_traversable() {
+        let (ex, g) = setup();
+        let map = reachability(&g, ex.p3, TimeOfDay::hm(12, 0), &ItspqConfig::default());
+        // v15 (private) is enterable through d15 at noon …
+        assert!(map.to_partition(ex.v(15)).is_finite());
+        // … but the sweep never goes through it: d16's only access from p3's
+        // side is via v14 (through d18), which is longer than via v15 would
+        // have been.
+        let via_v14 = map.to_door(ex.d(18))
+            + ex.space.door_to_door(ex.v(14), ex.d(18), ex.d(16)).unwrap();
+        assert!((map.to_door(ex.d(16)) - via_v14).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,100 @@
+//! Search statistics and memory accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters collected during one ITSPQ search.
+///
+/// The byte figures implement the paper's *memory cost* metric (Figure 7):
+/// they account for the search state (distance/predecessor/visited arrays,
+/// priority queue at its peak) and, for ITG/A, for the reduced graphs built or
+/// consulted during the query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Doors (or the target) pushed into the priority queue.
+    pub heap_pushes: usize,
+    /// Entries removed from the priority queue (including stale ones).
+    pub heap_pops: usize,
+    /// Largest number of simultaneous queue entries.
+    pub peak_heap: usize,
+    /// Doors settled (deheaped with final distance).
+    pub doors_settled: usize,
+    /// Partitions expanded.
+    pub partitions_expanded: usize,
+    /// Attempted door relaxations (line 26–34 of Algorithm 1).
+    pub relaxations: usize,
+    /// Relaxations that improved a door's tentative distance.
+    pub improvements: usize,
+    /// `TV_Check` invocations.
+    pub tv_checks: usize,
+    /// `TV_Check` failures (doors rejected for being closed at arrival).
+    pub tv_rejections: usize,
+    /// ITG/A: graph refreshes triggered by arrivals past the next checkpoint.
+    pub graph_updates: usize,
+    /// ITG/A: reduced graphs actually (re)built (cache misses).
+    pub views_built: usize,
+    /// Estimated bytes of transient search state.
+    pub search_bytes: usize,
+    /// ITG/A: bytes of the reduced graphs consulted by this query.
+    pub reduced_graph_bytes: usize,
+}
+
+impl SearchStats {
+    /// Total estimated working-set bytes of the query (search state plus
+    /// reduced graphs), the quantity plotted in the paper's Figure 7.
+    #[must_use]
+    pub fn estimated_bytes(&self) -> usize {
+        self.search_bytes + self.reduced_graph_bytes
+    }
+
+    /// Same figure in kilobytes.
+    #[must_use]
+    pub fn estimated_kb(&self) -> f64 {
+        self.estimated_bytes() as f64 / 1024.0
+    }
+}
+
+impl std::fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "settled {} doors / {} partitions, {} relax ({} improved), \
+             {} tv-checks ({} rejected), {} graph updates, ~{:.1} KB",
+            self.doors_settled,
+            self.partitions_expanded,
+            self.relaxations,
+            self.improvements,
+            self.tv_checks,
+            self.tv_rejections,
+            self.graph_updates,
+            self.estimated_kb(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_aggregate() {
+        let s = SearchStats {
+            search_bytes: 1024,
+            reduced_graph_bytes: 2048,
+            ..SearchStats::default()
+        };
+        assert_eq!(s.estimated_bytes(), 3072);
+        assert!((s.estimated_kb() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_counters() {
+        let s = SearchStats {
+            doors_settled: 7,
+            tv_checks: 3,
+            ..SearchStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("7 doors"));
+        assert!(text.contains("3 tv-checks"));
+    }
+}

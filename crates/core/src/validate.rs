@@ -1,0 +1,288 @@
+//! Independent validation of ITSPQ paths against the two rules of the problem
+//! definition. Used by tests, property tests and examples to cross-check every
+//! engine.
+
+use indoor_space::{DoorId, IndoorSpace, PartitionId};
+use indoor_time::{TimeOfDay, Timestamp, Velocity};
+
+use crate::Path;
+
+/// Numeric tolerance for distance bookkeeping (metres).
+const TOL: f64 = 1e-6;
+
+/// A way a path can violate the ITSPQ rules or its own bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathViolation {
+    /// A hop's `via_partition` cannot be reached from the previous node.
+    Disconnected {
+        /// Index of the offending hop.
+        hop: usize,
+    },
+    /// A door is crossed while closed (rule 1).
+    DoorClosed {
+        /// The closed door.
+        door: DoorId,
+        /// The arrival instant that misses its ATIs.
+        arrival: Timestamp,
+    },
+    /// A private partition is traversed without containing `ps`/`pt` (rule 2).
+    PrivateTraversal {
+        /// The traversed private partition.
+        partition: PartitionId,
+    },
+    /// The recorded cumulative distances or total length do not add up.
+    LengthMismatch {
+        /// Expected value from independent recomputation.
+        expected: f64,
+        /// Value recorded on the path.
+        recorded: f64,
+    },
+    /// A hop references a door that does not bound its `via_partition`.
+    ForeignDoor {
+        /// Index of the offending hop.
+        hop: usize,
+    },
+}
+
+impl std::fmt::Display for PathViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathViolation::Disconnected { hop } => write!(f, "hop {hop} is disconnected"),
+            PathViolation::DoorClosed { door, arrival } => {
+                write!(f, "door {door} is closed at arrival {arrival}")
+            }
+            PathViolation::PrivateTraversal { partition } => {
+                write!(f, "path traverses private partition {partition}")
+            }
+            PathViolation::LengthMismatch { expected, recorded } => {
+                write!(f, "length mismatch: expected {expected}, recorded {recorded}")
+            }
+            PathViolation::ForeignDoor { hop } => {
+                write!(f, "hop {hop} crosses a door foreign to its partition")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathViolation {}
+
+/// Checks a path against the ITSPQ problem definition:
+///
+/// 1. every door is open at `t + Δt` where `Δt` is the walking time to it;
+/// 2. no private partition other than `P(ps)`/`P(pt)` is traversed;
+///
+/// plus internal consistency: hops are topologically connected, cumulative
+/// distances match the venue's distance matrices, and the recorded length
+/// equals the recomputed one.
+///
+/// # Errors
+/// Returns the first violation found.
+pub fn validate_path(
+    space: &IndoorSpace,
+    path: &Path,
+    t: TimeOfDay,
+    velocity: Velocity,
+) -> Result<(), PathViolation> {
+    let t0 = Timestamp::from_time_of_day(t);
+    let src = path.source;
+    let dst = path.target;
+
+    if path.hops.is_empty() {
+        // Direct intra-partition segment.
+        let expected = src.position.distance(dst.position);
+        if src.partition != dst.partition {
+            return Err(PathViolation::Disconnected { hop: 0 });
+        }
+        if (expected - path.length).abs() > TOL {
+            return Err(PathViolation::LengthMismatch { expected, recorded: path.length });
+        }
+        return Ok(());
+    }
+
+    let mut cumulative = 0.0_f64;
+    let mut prev_door: Option<DoorId> = None;
+
+    for (i, hop) in path.hops.iter().enumerate() {
+        let v = hop.via_partition;
+
+        // Rule 2: traversed partitions must be public unless they host ps/pt.
+        let kind = space.partition(v).kind;
+        if !kind.traversable() && v != src.partition && v != dst.partition {
+            return Err(PathViolation::PrivateTraversal { partition: v });
+        }
+
+        // Topological connection into v.
+        match prev_door {
+            None => {
+                if v != src.partition {
+                    return Err(PathViolation::Disconnected { hop: i });
+                }
+            }
+            Some(d_prev) => {
+                if !space.d2p_enterable(d_prev).contains(&v) {
+                    return Err(PathViolation::Disconnected { hop: i });
+                }
+            }
+        }
+
+        // The hop's door must be leaveable from v.
+        if !space.p2d_leaveable(v).contains(&hop.door) {
+            return Err(PathViolation::ForeignDoor { hop: i });
+        }
+
+        // Distance bookkeeping.
+        let leg = match prev_door {
+            None => space.point_to_door(&src, hop.door),
+            Some(d_prev) => space.door_to_door(v, d_prev, hop.door),
+        };
+        let Some(leg) = leg else {
+            return Err(PathViolation::ForeignDoor { hop: i });
+        };
+        cumulative += leg;
+        if (cumulative - hop.distance).abs() > TOL {
+            return Err(PathViolation::LengthMismatch {
+                expected: cumulative,
+                recorded: hop.distance,
+            });
+        }
+
+        // Rule 1: the door must be open at the arrival instant.
+        let arrival = t0 + velocity.travel_time(cumulative);
+        if !space.door(hop.door).atis.is_open_at(arrival) {
+            return Err(PathViolation::DoorClosed { door: hop.door, arrival });
+        }
+
+        prev_door = Some(hop.door);
+    }
+
+    // Final leg into the target partition.
+    let last = prev_door.expect("non-empty hop list");
+    if !space.d2p_enterable(last).contains(&dst.partition) {
+        return Err(PathViolation::Disconnected { hop: path.hops.len() });
+    }
+    let Some(leg) = space.point_to_door(&dst, last) else {
+        return Err(PathViolation::ForeignDoor { hop: path.hops.len() });
+    };
+    cumulative += leg;
+    if (cumulative - path.length).abs() > TOL {
+        return Err(PathViolation::LengthMismatch {
+            expected: cumulative,
+            recorded: path.length,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ItGraph, ItspqConfig, Query, SynEngine};
+    use indoor_space::paper_example;
+    use indoor_time::WALKING_SPEED;
+
+    #[test]
+    fn engine_paths_validate() {
+        let ex = paper_example::build();
+        let eng = SynEngine::new(ItGraph::new(ex.space.clone()), ItspqConfig::default());
+        for (h, m) in [(9, 0), (12, 0), (15, 59), (22, 0), (5, 30)] {
+            for (s, t) in [(ex.p3, ex.p4), (ex.p1, ex.p2), (ex.p2, ex.p3)] {
+                let q = Query::new(s, t, TimeOfDay::hm(h, m));
+                if let Some(path) = eng.query(&q).path {
+                    validate_path(&ex.space, &path, q.time, WALKING_SPEED)
+                        .unwrap_or_else(|v| panic!("invalid path at {h}:{m}: {v}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detects_closed_door() {
+        let ex = paper_example::build();
+        let eng = SynEngine::new(ItGraph::new(ex.space.clone()), ItspqConfig::default());
+        let q = Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0));
+        let path = eng.query(&q).path.unwrap();
+        // Re-validating the 9:00 path as if departing at 23:30 must fail:
+        // d18 is closed then.
+        let err = validate_path(&ex.space, &path, TimeOfDay::hm(23, 30), WALKING_SPEED)
+            .unwrap_err();
+        assert!(matches!(err, PathViolation::DoorClosed { door, .. } if door == ex.d(18)));
+    }
+
+    #[test]
+    fn detects_private_traversal() {
+        let ex = paper_example::build();
+        // Hand-build the forbidden (p3, d15, d16, p4) path through private v15.
+        let t0 = Timestamp::from_time_of_day(TimeOfDay::hm(9, 0));
+        let s = &ex.space;
+        let d1 = s.point_to_door(&ex.p3, ex.d(15)).unwrap();
+        let d2 = d1 + s.door_to_door(ex.v(15), ex.d(15), ex.d(16)).unwrap();
+        let length = d2 + s.point_to_door(&ex.p4, ex.d(16)).unwrap();
+        let path = Path {
+            source: ex.p3,
+            target: ex.p4,
+            hops: vec![
+                crate::DoorHop {
+                    door: ex.d(15),
+                    via_partition: ex.v(13),
+                    distance: d1,
+                    arrival: t0 + WALKING_SPEED.travel_time(d1),
+                },
+                crate::DoorHop {
+                    door: ex.d(16),
+                    via_partition: ex.v(15),
+                    distance: d2,
+                    arrival: t0 + WALKING_SPEED.travel_time(d2),
+                },
+            ],
+            length,
+            departure: t0,
+            arrival: t0 + WALKING_SPEED.travel_time(length),
+        };
+        let err = validate_path(&ex.space, &path, TimeOfDay::hm(9, 0), WALKING_SPEED).unwrap_err();
+        assert_eq!(err, PathViolation::PrivateTraversal { partition: ex.v(15) });
+    }
+
+    #[test]
+    fn detects_length_mismatch() {
+        let ex = paper_example::build();
+        let eng = SynEngine::new(ItGraph::new(ex.space.clone()), ItspqConfig::default());
+        let q = Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0));
+        let mut path = eng.query(&q).path.unwrap();
+        path.length += 1.0;
+        let err = validate_path(&ex.space, &path, q.time, WALKING_SPEED).unwrap_err();
+        assert!(matches!(err, PathViolation::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn detects_disconnection() {
+        let ex = paper_example::build();
+        let eng = SynEngine::new(ItGraph::new(ex.space.clone()), ItspqConfig::default());
+        let q = Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0));
+        let mut path = eng.query(&q).path.unwrap();
+        path.hops[0].via_partition = ex.v(5); // p3 is not in v5
+        let err = validate_path(&ex.space, &path, q.time, WALKING_SPEED).unwrap_err();
+        assert!(matches!(
+            err,
+            PathViolation::Disconnected { .. } | PathViolation::ForeignDoor { .. }
+        ));
+    }
+
+    #[test]
+    fn direct_path_validates_and_guards_partition() {
+        let ex = paper_example::build();
+        let a = indoor_space::IndoorPoint::new(ex.v(13), indoor_geom::Point::new(0.0, 0.0));
+        let b = indoor_space::IndoorPoint::new(ex.v(13), indoor_geom::Point::new(3.0, 4.0));
+        let t0 = Timestamp::from_time_of_day(TimeOfDay::hm(12, 0));
+        let direct = Path {
+            source: a,
+            target: b,
+            hops: vec![],
+            length: 5.0,
+            departure: t0,
+            arrival: t0 + WALKING_SPEED.travel_time(5.0),
+        };
+        validate_path(&ex.space, &direct, TimeOfDay::hm(12, 0), WALKING_SPEED).unwrap();
+        let wrong = Path { target: ex.p4, ..direct };
+        assert!(validate_path(&ex.space, &wrong, TimeOfDay::hm(12, 0), WALKING_SPEED).is_err());
+    }
+}

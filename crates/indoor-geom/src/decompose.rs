@@ -1,0 +1,186 @@
+//! Decomposition of rectilinear polygons into axis-aligned rectangles.
+//!
+//! The ITSPQ paper's synthetic venue is produced by decomposing "irregular
+//! hallways … into smaller, regular partitions" (citing Xie et al., ICDE
+//! 2013). This module provides that substrate: a slab decomposition that
+//! slices a rectilinear polygon at every distinct vertex y-coordinate and
+//! emits one rectangle per maximal horizontal run inside each slab.
+//!
+//! The result exactly covers the polygon's interior with non-overlapping
+//! rectangles whose union area equals the polygon area (verified by tests and
+//! property tests).
+
+use crate::{GeomError, Point, Polygon, Rect, EPS};
+
+/// Decomposes a rectilinear [`Polygon`] into non-overlapping axis-aligned
+/// [`Rect`]s covering the same area.
+///
+/// # Errors
+/// Returns [`GeomError::NotRectilinear`] if any edge is not axis-parallel.
+pub fn decompose_rectilinear(poly: &Polygon) -> Result<Vec<Rect>, GeomError> {
+    if !poly.is_rectilinear() {
+        return Err(GeomError::NotRectilinear);
+    }
+
+    // Horizontal slab boundaries: every distinct vertex y.
+    let mut ys: Vec<f64> = poly.vertices().iter().map(|v| v.y).collect();
+    ys.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+    ys.dedup_by(|a, b| (*a - *b).abs() <= EPS);
+
+    let mut rects = Vec::new();
+    for slab in ys.windows(2) {
+        let (y_lo, y_hi) = (slab[0], slab[1]);
+        let y_mid = (y_lo + y_hi) / 2.0;
+
+        // Intersect the horizontal line y = y_mid with the polygon's vertical
+        // edges; consecutive crossing pairs are interior runs.
+        let mut xs: Vec<f64> = Vec::new();
+        let verts = poly.vertices();
+        let n = verts.len();
+        for i in 0..n {
+            let a = verts[i];
+            let b = verts[(i + 1) % n];
+            if (a.x - b.x).abs() <= EPS {
+                // Vertical edge spanning [min_y, max_y).
+                let (lo, hi) = if a.y < b.y { (a.y, b.y) } else { (b.y, a.y) };
+                if lo - EPS <= y_mid && y_mid < hi + EPS && hi - lo > EPS {
+                    xs.push(a.x);
+                }
+            }
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+
+        debug_assert!(xs.len().is_multiple_of(2), "odd crossing count in simple rectilinear polygon");
+        for pair in xs.chunks_exact(2) {
+            if pair[1] - pair[0] > EPS {
+                rects.push(
+                    Rect::new(Point::new(pair[0], y_lo), Point::new(pair[1], y_hi))
+                        .expect("slab runs are non-degenerate"),
+                );
+            }
+        }
+    }
+    Ok(rects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(pts: &[(f64, f64)]) -> Polygon {
+        Polygon::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    fn total_area(rects: &[Rect]) -> f64 {
+        rects.iter().map(|r| r.area()).sum()
+    }
+
+    fn assert_no_overlap(rects: &[Rect]) {
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                assert!(!a.intersects(*b), "rectangles overlap: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_rectilinear() {
+        let tri = poly(&[(0.0, 0.0), (4.0, 0.0), (2.0, 3.0)]);
+        assert!(matches!(
+            decompose_rectilinear(&tri),
+            Err(GeomError::NotRectilinear)
+        ));
+    }
+
+    #[test]
+    fn square_is_one_rect() {
+        let sq = poly(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let rects = decompose_rectilinear(&sq).unwrap();
+        assert_eq!(rects.len(), 1);
+        assert_eq!(rects[0].area(), 100.0);
+    }
+
+    #[test]
+    fn l_shape_two_rects() {
+        let l = poly(&[
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 5.0),
+            (5.0, 5.0),
+            (5.0, 10.0),
+            (0.0, 10.0),
+        ]);
+        let rects = decompose_rectilinear(&l).unwrap();
+        assert_eq!(rects.len(), 2);
+        assert!((total_area(&rects) - l.area()).abs() < 1e-9);
+        assert_no_overlap(&rects);
+    }
+
+    #[test]
+    fn u_shape_three_rects() {
+        // A U: 12 wide, 8 tall, with a 4-wide notch cut from the top middle.
+        let u = poly(&[
+            (0.0, 0.0),
+            (12.0, 0.0),
+            (12.0, 8.0),
+            (8.0, 8.0),
+            (8.0, 3.0),
+            (4.0, 3.0),
+            (4.0, 8.0),
+            (0.0, 8.0),
+        ]);
+        let rects = decompose_rectilinear(&u).unwrap();
+        assert!((total_area(&rects) - u.area()).abs() < 1e-9);
+        assert_no_overlap(&rects);
+        // One bottom slab + two arms.
+        assert_eq!(rects.len(), 3);
+    }
+
+    #[test]
+    fn plus_shape_covers_area() {
+        // A plus sign: central 4x4 with 4x2 arms.
+        let plus = poly(&[
+            (4.0, 0.0),
+            (8.0, 0.0),
+            (8.0, 4.0),
+            (12.0, 4.0),
+            (12.0, 8.0),
+            (8.0, 8.0),
+            (8.0, 12.0),
+            (4.0, 12.0),
+            (4.0, 8.0),
+            (0.0, 8.0),
+            (0.0, 4.0),
+            (4.0, 4.0),
+        ]);
+        let rects = decompose_rectilinear(&plus).unwrap();
+        assert!((total_area(&rects) - plus.area()).abs() < 1e-9);
+        assert_no_overlap(&rects);
+        // Every rect centre must be inside the polygon.
+        for r in &rects {
+            assert!(plus.contains(r.center()));
+        }
+    }
+
+    #[test]
+    fn interior_points_are_covered() {
+        let l = poly(&[
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 5.0),
+            (5.0, 5.0),
+            (5.0, 10.0),
+            (0.0, 10.0),
+        ]);
+        let rects = decompose_rectilinear(&l).unwrap();
+        // Sample grid of interior points: covered iff inside the polygon.
+        for ix in 0..20 {
+            for iy in 0..20 {
+                let p = Point::new(0.25 + f64::from(ix) * 0.5, 0.25 + f64::from(iy) * 0.5);
+                let in_poly = l.contains(p);
+                let in_rects = rects.iter().any(|r| r.contains(p));
+                assert_eq!(in_poly, in_rects, "mismatch at {p}");
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for geometric constructions.
+
+use std::fmt;
+
+use crate::Point;
+
+/// Errors raised by geometric constructors and algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeomError {
+    /// A rectangle with non-positive extent or non-finite corners.
+    DegenerateRect {
+        /// Requested min corner.
+        min: Point,
+        /// Requested max corner.
+        max: Point,
+    },
+    /// A polygon with fewer than three vertices.
+    TooFewVertices(usize),
+    /// A polygon whose ring encloses no area.
+    ZeroAreaPolygon,
+    /// An operation that requires a rectilinear polygon received a general one.
+    NotRectilinear,
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::DegenerateRect { min, max } => {
+                write!(f, "degenerate rectangle: min {min}, max {max}")
+            }
+            GeomError::TooFewVertices(n) => {
+                write!(f, "polygon needs at least 3 vertices, got {n}")
+            }
+            GeomError::ZeroAreaPolygon => write!(f, "polygon encloses no area"),
+            GeomError::NotRectilinear => {
+                write!(f, "operation requires a rectilinear polygon")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = GeomError::DegenerateRect {
+            min: Point::new(0.0, 0.0),
+            max: Point::new(0.0, 1.0),
+        };
+        assert!(e.to_string().contains("degenerate"));
+        assert!(GeomError::TooFewVertices(2).to_string().contains('2'));
+        assert!(GeomError::NotRectilinear.to_string().contains("rectilinear"));
+    }
+}

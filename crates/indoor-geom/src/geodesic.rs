@@ -1,0 +1,209 @@
+//! Geodesic (shortest-path) distances inside a simple polygon.
+//!
+//! Straight-line distance between two doors of a partition underestimates the
+//! walk when the partition is non-convex (an L-shaped hallway, say). This
+//! module computes the exact interior shortest path via the classic
+//! visibility-graph construction: nodes are the two query points plus the
+//! polygon's reflex-relevant vertices; edges join mutually visible nodes;
+//! Dijkstra gives the geodesic.
+//!
+//! Sizes are small (partitions have a handful of vertices), so the O(n³)
+//! visibility graph is perfectly adequate and keeps the code auditable.
+
+use crate::{Point, Polygon, EPS};
+
+/// Whether the open segment `a`–`b` stays strictly inside `poly` (endpoints
+/// may lie on the boundary).
+#[must_use]
+pub fn segment_inside(poly: &Polygon, a: Point, b: Point) -> bool {
+    if a.distance(b) <= EPS {
+        return poly.contains(a);
+    }
+    let verts = poly.vertices();
+    let n = verts.len();
+    // Any proper crossing with a polygon edge disqualifies the segment.
+    for i in 0..n {
+        let c = verts[i];
+        let d = verts[(i + 1) % n];
+        if segments_properly_cross(a, b, c, d) {
+            return false;
+        }
+    }
+    // No proper crossing: the segment lies fully inside or fully outside
+    // (possibly running along the boundary). Check interior points; sampling
+    // several guards against touching the boundary at a vertex.
+    for t in [0.5, 0.25, 0.75, 0.125, 0.875] {
+        let m = a.lerp(b, t);
+        if !poly.contains(m) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Proper crossing test: the open segments intersect in exactly one interior
+/// point (shared endpoints and collinear overlaps do not count).
+fn segments_properly_cross(a: Point, b: Point, c: Point, d: Point) -> bool {
+    let d1 = (b - a).cross(c - a);
+    let d2 = (b - a).cross(d - a);
+    let d3 = (d - c).cross(a - c);
+    let d4 = (d - c).cross(b - c);
+    d1 * d2 < -EPS && d3 * d4 < -EPS
+}
+
+/// The geodesic distance from `a` to `b` inside `poly`, or `None` when either
+/// endpoint lies outside the polygon.
+///
+/// Convex polygons short-circuit to the Euclidean distance.
+#[must_use]
+pub fn geodesic_distance(poly: &Polygon, a: Point, b: Point) -> Option<f64> {
+    if !poly.contains(a) || !poly.contains(b) {
+        return None;
+    }
+    if poly.is_convex() || segment_inside(poly, a, b) {
+        return Some(a.distance(b));
+    }
+
+    // Visibility graph over {a, b} ∪ vertices.
+    let mut nodes: Vec<Point> = vec![a, b];
+    nodes.extend_from_slice(poly.vertices());
+    let n = nodes.len();
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if segment_inside(poly, nodes[i], nodes[j]) {
+                let w = nodes[i].distance(nodes[j]);
+                adj[i].push((j, w));
+                adj[j].push((i, w));
+            }
+        }
+    }
+
+    // Dijkstra from node 0 (a) to node 1 (b).
+    let mut dist = vec![f64::INFINITY; n];
+    let mut done = vec![false; n];
+    dist[0] = 0.0;
+    for _ in 0..n {
+        let mut u = usize::MAX;
+        let mut best = f64::INFINITY;
+        for (i, &d) in dist.iter().enumerate() {
+            if !done[i] && d < best {
+                best = d;
+                u = i;
+            }
+        }
+        if u == usize::MAX {
+            break;
+        }
+        if u == 1 {
+            return Some(dist[1]);
+        }
+        done[u] = true;
+        for &(v, w) in &adj[u] {
+            if dist[u] + w < dist[v] {
+                dist[v] = dist[u] + w;
+            }
+        }
+    }
+    dist[1].is_finite().then_some(dist[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(pts: &[(f64, f64)]) -> Polygon {
+        Polygon::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    fn l_shape() -> Polygon {
+        // 10×10 square minus its top-right 5×5 quadrant.
+        poly(&[
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (10.0, 5.0),
+            (5.0, 5.0),
+            (5.0, 10.0),
+            (0.0, 10.0),
+        ])
+    }
+
+    #[test]
+    fn convex_polygon_is_euclidean() {
+        let sq = poly(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let d = geodesic_distance(&sq, Point::new(1.0, 1.0), Point::new(9.0, 9.0)).unwrap();
+        assert!((d - (128.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l_shape_goes_around_the_corner() {
+        let l = l_shape();
+        // From the top arm to the right arm: the straight line cuts through
+        // the removed quadrant; the geodesic bends at the reflex corner (5,5).
+        let a = Point::new(2.5, 9.0);
+        let b = Point::new(9.0, 2.5);
+        let direct = a.distance(b);
+        let d = geodesic_distance(&l, a, b).unwrap();
+        let via_corner = a.distance(Point::new(5.0, 5.0)) + Point::new(5.0, 5.0).distance(b);
+        assert!(d > direct + 0.1, "must exceed the blocked straight line");
+        assert!((d - via_corner).abs() < 1e-9, "bends exactly at the reflex corner");
+    }
+
+    #[test]
+    fn same_arm_stays_euclidean() {
+        let l = l_shape();
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(9.0, 1.0);
+        assert!((geodesic_distance(&l, a, b).unwrap() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outside_points_rejected() {
+        let l = l_shape();
+        assert!(geodesic_distance(&l, Point::new(8.0, 8.0), Point::new(1.0, 1.0)).is_none());
+        assert!(geodesic_distance(&l, Point::new(1.0, 1.0), Point::new(11.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn boundary_endpoints_work() {
+        // Door positions sit on partition boundaries: (0,5) and (10,0).
+        let l = l_shape();
+        let d = geodesic_distance(&l, Point::new(0.0, 10.0), Point::new(10.0, 0.0)).unwrap();
+        let via = Point::new(0.0, 10.0).distance(Point::new(5.0, 5.0))
+            + Point::new(5.0, 5.0).distance(Point::new(10.0, 0.0));
+        // The straight corner-to-corner line passes exactly through (5,5);
+        // both routes coincide here.
+        assert!((d - via).abs() < 1e-6);
+    }
+
+    #[test]
+    fn u_shape_deep_detour() {
+        // U-shape: wall between the arms forces a long detour.
+        let u = poly(&[
+            (0.0, 0.0),
+            (12.0, 0.0),
+            (12.0, 10.0),
+            (8.0, 10.0),
+            (8.0, 2.0),
+            (4.0, 2.0),
+            (4.0, 10.0),
+            (0.0, 10.0),
+        ]);
+        let a = Point::new(2.0, 9.0);
+        let b = Point::new(10.0, 9.0);
+        let d = geodesic_distance(&u, a, b).unwrap();
+        // Must descend below y = 2 and come back up: at least 2·7 m of
+        // vertical travel plus 8 m across.
+        assert!(d > 18.0, "geodesic {d} suspiciously short");
+        assert!(d < 25.0, "geodesic {d} suspiciously long");
+    }
+
+    #[test]
+    fn segment_inside_basics() {
+        let l = l_shape();
+        assert!(segment_inside(&l, Point::new(1.0, 1.0), Point::new(9.0, 1.0)));
+        assert!(!segment_inside(&l, Point::new(2.5, 9.0), Point::new(9.0, 2.5)));
+        // Degenerate segment.
+        assert!(segment_inside(&l, Point::new(1.0, 1.0), Point::new(1.0, 1.0)));
+    }
+}

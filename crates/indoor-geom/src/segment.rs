@@ -1,0 +1,83 @@
+//! Line segments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Point;
+
+/// A line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment.
+    #[must_use]
+    pub fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length in metres.
+    #[must_use]
+    pub fn length(self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// The midpoint of the segment (where a door on a shared wall is placed by
+    /// default).
+    #[must_use]
+    pub fn midpoint(self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// The point on the segment closest to `p`.
+    #[must_use]
+    pub fn closest_point(self, p: Point) -> Point {
+        let ab = self.b - self.a;
+        let len_sq = ab.dot(ab);
+        if len_sq == 0.0 {
+            return self.a;
+        }
+        let t = ((p - self.a).dot(ab) / len_sq).clamp(0.0, 1.0);
+        self.a.lerp(self.b, t)
+    }
+
+    /// Distance from `p` to the segment.
+    #[must_use]
+    pub fn distance_to_point(self, p: Point) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(s.length(), 10.0);
+        assert_eq!(s.midpoint(), Point::new(5.0, 0.0));
+    }
+
+    #[test]
+    fn closest_point_projects_and_clamps() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(5.0, 3.0)), Point::new(5.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(-4.0, 3.0)), Point::new(0.0, 0.0));
+        assert_eq!(s.closest_point(Point::new(14.0, 3.0)), Point::new(10.0, 0.0));
+        assert_eq!(s.distance_to_point(Point::new(5.0, 3.0)), 3.0);
+        assert_eq!(s.distance_to_point(Point::new(13.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = Segment::new(Point::new(2.0, 2.0), Point::new(2.0, 2.0));
+        assert_eq!(s.length(), 0.0);
+        assert_eq!(s.closest_point(Point::new(5.0, 6.0)), Point::new(2.0, 2.0));
+        assert_eq!(s.distance_to_point(Point::new(5.0, 6.0)), 5.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the geometry substrate.
+
+use indoor_geom::{decompose_rectilinear, Point, Polygon, Rect, Segment};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000.0f64..1000.0, -1000.0f64..1000.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (
+        -500.0f64..500.0,
+        -500.0f64..500.0,
+        0.5f64..200.0,
+        0.5f64..200.0,
+    )
+        .prop_map(|(x, y, w, h)| Rect::with_size(Point::new(x, y), w, h))
+}
+
+/// A random rectilinear "staircase" polygon: monotone steps up then a closing
+/// rectangle back, guaranteed simple.
+fn arb_staircase() -> impl Strategy<Value = Polygon> {
+    prop::collection::vec((1.0f64..30.0, 1.0f64..30.0), 1..6).prop_map(|steps| {
+        let mut verts = vec![Point::new(0.0, 0.0)];
+        let mut x = 0.0;
+        let mut y = 0.0;
+        for (dx, dy) in &steps {
+            x += dx;
+            verts.push(Point::new(x, y));
+            y += dy;
+            verts.push(Point::new(x, y));
+        }
+        verts.push(Point::new(0.0, y));
+        Polygon::new(verts).expect("staircase is simple with positive area")
+    })
+}
+
+proptest! {
+    /// Distance is a metric (symmetry + triangle inequality + identity).
+    #[test]
+    fn distance_is_metric(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        prop_assert_eq!(a.distance(a), 0.0);
+    }
+
+    /// Closest point on a segment is never farther than either endpoint.
+    #[test]
+    fn segment_projection_dominates_endpoints(a in arb_point(), b in arb_point(), p in arb_point()) {
+        let s = Segment::new(a, b);
+        let d = s.distance_to_point(p);
+        prop_assert!(d <= p.distance(a) + 1e-9);
+        prop_assert!(d <= p.distance(b) + 1e-9);
+        prop_assert!(s.length() >= 0.0);
+    }
+
+    /// Rect centre is always contained; area is width*height.
+    #[test]
+    fn rect_invariants(r in arb_rect()) {
+        prop_assert!(r.contains(r.center()));
+        prop_assert!((r.area() - r.width() * r.height()).abs() < 1e-9);
+        let poly = r.to_polygon();
+        prop_assert!((poly.area() - r.area()).abs() < 1e-6);
+        prop_assert!(poly.is_rectilinear());
+        prop_assert!(poly.is_convex());
+    }
+
+    /// Shared edges are symmetric and lie on both rectangles' boundaries.
+    #[test]
+    fn shared_edge_symmetry(r in arb_rect(), dy in -50.0f64..50.0, w in 0.5f64..100.0) {
+        // A neighbour glued to the right edge of r with vertical offset dy.
+        let nb = Rect::with_size(Point::new(r.max().x, r.min().y + dy), w, r.height());
+        let e1 = r.shared_edge(nb);
+        let e2 = nb.shared_edge(r);
+        prop_assert_eq!(e1.is_some(), e2.is_some());
+        if let (Some(e1), Some(e2)) = (e1, e2) {
+            prop_assert!((e1.length() - e2.length()).abs() < 1e-9);
+            let m = e1.midpoint();
+            prop_assert!(r.contains(m) && nb.contains(m));
+        }
+    }
+
+    /// Rectilinear decomposition covers exactly the polygon area with
+    /// non-overlapping rectangles.
+    #[test]
+    fn decomposition_preserves_area(poly in arb_staircase()) {
+        let rects = decompose_rectilinear(&poly).unwrap();
+        let total: f64 = rects.iter().map(|r| r.area()).sum();
+        prop_assert!((total - poly.area()).abs() < 1e-6,
+            "area mismatch: rects {} vs polygon {}", total, poly.area());
+        for (i, a) in rects.iter().enumerate() {
+            for b in &rects[i + 1..] {
+                prop_assert!(!a.intersects(*b));
+            }
+            prop_assert!(poly.contains(a.center()));
+        }
+    }
+
+    /// Polygon containment agrees between a rect and its polygon form.
+    #[test]
+    fn rect_polygon_containment_agrees(r in arb_rect(), p in arb_point()) {
+        let poly = r.to_polygon();
+        // Interior points (strictly) must agree; boundary tolerance may differ.
+        let strictly_inside = r.min().x + 1e-6 < p.x && p.x < r.max().x - 1e-6
+            && r.min().y + 1e-6 < p.y && p.y < r.max().y - 1e-6;
+        if strictly_inside {
+            prop_assert!(poly.contains(p));
+            prop_assert!(r.contains(p));
+        }
+        let clearly_outside = p.x < r.min().x - 1e-6 || p.x > r.max().x + 1e-6
+            || p.y < r.min().y - 1e-6 || p.y > r.max().y + 1e-6;
+        if clearly_outside {
+            prop_assert!(!poly.contains(p));
+            prop_assert!(!r.contains(p));
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Validated construction of indoor spaces.
+
+use std::collections::HashMap;
+
+use indoor_geom::{geodesic_distance, Point, Polygon};
+use indoor_time::{AtiList, CheckpointSet};
+
+use crate::{
+    venue::Topology, DistanceMatrix, DoorId, DoorKind, DoorRecord, FloorId, IndoorSpace,
+    PartitionId, PartitionKind, PartitionRecord, SpaceError,
+};
+
+/// How intra-partition door-to-door distances are derived when no explicit
+/// override is given.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistanceModel {
+    /// Straight-line distance between door positions. Exact for convex
+    /// partitions (the output of the paper's hallway decomposition).
+    #[default]
+    Euclidean,
+    /// Interior shortest-path distance within the partition's polygon
+    /// ([`indoor_geom::geodesic_distance`]); falls back to Euclidean for
+    /// partitions without a polygon or when a door lies outside it. Use for
+    /// venues whose partitions are kept non-convex.
+    Geodesic,
+}
+
+/// How a door connects partitions, including the paper's door directionality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Connection {
+    /// A regular door: both partitions can be left and entered through it.
+    TwoWay(PartitionId, PartitionId),
+    /// A directional door: usable only from `from` into `to` (e.g. the paper's
+    /// d3, an exit-only door from v3 into v16).
+    OneWay {
+        /// Partition one can leave through the door.
+        from: PartitionId,
+        /// Partition one can enter through the door.
+        to: PartitionId,
+    },
+    /// A door on the venue boundary with a single modelled side (e.g. a roof
+    /// access). It can be used to leave and re-enter that partition.
+    Boundary(PartitionId),
+}
+
+impl Connection {
+    fn partitions(self) -> (PartitionId, Option<PartitionId>) {
+        match self {
+            Connection::TwoWay(a, b) => (a, Some(b)),
+            Connection::OneWay { from, to } => (from, Some(to)),
+            Connection::Boundary(p) => (p, None),
+        }
+    }
+}
+
+/// Builder for [`IndoorSpace`]: add partitions and doors, connect them,
+/// optionally override intra-partition distances, then [`VenueBuilder::build`].
+///
+/// # Example
+///
+/// ```
+/// use indoor_geom::Point;
+/// use indoor_space::{Connection, DoorKind, PartitionKind, VenueBuilder};
+/// use indoor_time::AtiList;
+///
+/// let mut b = VenueBuilder::new();
+/// let room = b.add_partition("room", PartitionKind::Public);
+/// let hall = b.add_partition("hall", PartitionKind::Public);
+/// let door = b.add_door("door", DoorKind::Public, AtiList::hm(&[((8, 0), (18, 0))]),
+///                       Point::new(5.0, 0.0));
+/// b.connect(door, Connection::TwoWay(room, hall)).unwrap();
+/// let space = b.build().unwrap();
+/// assert_eq!(space.num_partitions(), 2);
+/// assert_eq!(space.d2p(door), vec![room, hall]);
+/// ```
+#[derive(Debug, Default)]
+pub struct VenueBuilder {
+    partitions: Vec<PartitionRecord>,
+    doors: Vec<DoorRecord>,
+    connections: Vec<Option<Connection>>,
+    explicit: HashMap<(PartitionId, DoorId, DoorId), f64>,
+    distance_model: DistanceModel,
+}
+
+impl VenueBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects how distance matrices are derived (default
+    /// [`DistanceModel::Euclidean`]).
+    pub fn distance_model(&mut self, model: DistanceModel) -> &mut Self {
+        self.distance_model = model;
+        self
+    }
+
+    /// Adds a partition on floor 0 without footprint.
+    pub fn add_partition(&mut self, name: &str, kind: PartitionKind) -> PartitionId {
+        self.add_partition_on(name, kind, FloorId(0), None)
+    }
+
+    /// Adds a partition with floor and optional polygon footprint.
+    pub fn add_partition_on(
+        &mut self,
+        name: &str,
+        kind: PartitionKind,
+        floor: FloorId,
+        polygon: Option<Polygon>,
+    ) -> PartitionId {
+        let id = PartitionId::from_index(self.partitions.len());
+        self.partitions.push(PartitionRecord {
+            id,
+            name: name.to_owned(),
+            kind,
+            floor,
+            polygon,
+        });
+        id
+    }
+
+    /// Adds a door on floor 0.
+    pub fn add_door(
+        &mut self,
+        name: &str,
+        kind: DoorKind,
+        atis: AtiList,
+        position: Point,
+    ) -> DoorId {
+        self.add_door_on(name, kind, atis, position, FloorId(0))
+    }
+
+    /// Adds a door with an explicit floor.
+    pub fn add_door_on(
+        &mut self,
+        name: &str,
+        kind: DoorKind,
+        atis: AtiList,
+        position: Point,
+        floor: FloorId,
+    ) -> DoorId {
+        let id = DoorId::from_index(self.doors.len());
+        self.doors.push(DoorRecord {
+            id,
+            name: name.to_owned(),
+            kind,
+            atis,
+            position,
+            floor,
+        });
+        self.connections.push(None);
+        id
+    }
+
+    /// Connects a door to its partition(s).
+    ///
+    /// # Errors
+    /// Rejects unknown ids, self-loops and doors connected twice.
+    pub fn connect(&mut self, door: DoorId, conn: Connection) -> Result<(), SpaceError> {
+        let slot = self
+            .connections
+            .get_mut(door.index())
+            .ok_or(SpaceError::UnknownDoor(door))?;
+        if slot.is_some() {
+            return Err(SpaceError::DuplicateConnection(door));
+        }
+        let (a, b) = conn.partitions();
+        let n = self.partitions.len();
+        if a.index() >= n {
+            return Err(SpaceError::UnknownPartition(a));
+        }
+        if let Some(b) = b {
+            if b.index() >= n {
+                return Err(SpaceError::UnknownPartition(b));
+            }
+            if a == b {
+                return Err(SpaceError::SelfLoop(door, a));
+            }
+        }
+        *slot = Some(conn);
+        Ok(())
+    }
+
+    /// Overrides the intra-partition distance between two doors of
+    /// `partition` (used where geometry would misestimate, e.g. the 20 m
+    /// stairways of the paper's multi-floor venue). Applied symmetrically.
+    ///
+    /// # Errors
+    /// Rejects unknown ids and invalid distances; door membership is verified
+    /// at [`VenueBuilder::build`] time.
+    pub fn set_distance(
+        &mut self,
+        partition: PartitionId,
+        a: DoorId,
+        b: DoorId,
+        dist: f64,
+    ) -> Result<(), SpaceError> {
+        if partition.index() >= self.partitions.len() {
+            return Err(SpaceError::UnknownPartition(partition));
+        }
+        if a.index() >= self.doors.len() {
+            return Err(SpaceError::UnknownDoor(a));
+        }
+        if b.index() >= self.doors.len() {
+            return Err(SpaceError::UnknownDoor(b));
+        }
+        if !dist.is_finite() || dist < 0.0 {
+            return Err(SpaceError::InvalidDistance { a, b, value: dist });
+        }
+        let key = if a <= b { (partition, a, b) } else { (partition, b, a) };
+        self.explicit.insert(key, dist);
+        Ok(())
+    }
+
+    /// Validates the venue and derives topology mappings, distance matrices
+    /// and the checkpoint set.
+    ///
+    /// # Errors
+    /// Returns the first validation failure (dangling doors, foreign doors in
+    /// explicit distances, empty venue …).
+    pub fn build(self) -> Result<IndoorSpace, SpaceError> {
+        if self.partitions.is_empty() {
+            return Err(SpaceError::EmptyVenue);
+        }
+        let n_doors = self.doors.len();
+        let n_parts = self.partitions.len();
+
+        let mut door_leaves: Vec<Vec<PartitionId>> = vec![Vec::new(); n_doors];
+        let mut door_enters: Vec<Vec<PartitionId>> = vec![Vec::new(); n_doors];
+        for (i, conn) in self.connections.iter().enumerate() {
+            let door = DoorId::from_index(i);
+            let conn = conn.ok_or(SpaceError::DanglingDoor(door))?;
+            match conn {
+                Connection::TwoWay(a, b) => {
+                    door_leaves[i] = vec![a, b];
+                    door_enters[i] = vec![a, b];
+                }
+                Connection::OneWay { from, to } => {
+                    door_leaves[i] = vec![from];
+                    door_enters[i] = vec![to];
+                }
+                Connection::Boundary(p) => {
+                    door_leaves[i] = vec![p];
+                    door_enters[i] = vec![p];
+                }
+            }
+        }
+
+        let mut part_doors: Vec<Vec<DoorId>> = vec![Vec::new(); n_parts];
+        let mut part_leaveable: Vec<Vec<DoorId>> = vec![Vec::new(); n_parts];
+        let mut part_enterable: Vec<Vec<DoorId>> = vec![Vec::new(); n_parts];
+        for i in 0..n_doors {
+            let door = DoorId::from_index(i);
+            let mut seen = Vec::new();
+            for &p in door_leaves[i].iter().chain(door_enters[i].iter()) {
+                if !seen.contains(&p) {
+                    seen.push(p);
+                    part_doors[p.index()].push(door);
+                }
+            }
+            for &p in &door_leaves[i] {
+                part_leaveable[p.index()].push(door);
+            }
+            for &p in &door_enters[i] {
+                part_enterable[p.index()].push(door);
+            }
+        }
+        for v in part_doors
+            .iter_mut()
+            .chain(part_leaveable.iter_mut())
+            .chain(part_enterable.iter_mut())
+        {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        // Validate explicit distances against door membership.
+        for &(partition, a, b) in self.explicit.keys() {
+            let doors = &part_doors[partition.index()];
+            if !doors.contains(&a) {
+                return Err(SpaceError::ForeignDoor { partition, door: a });
+            }
+            if !doors.contains(&b) {
+                return Err(SpaceError::ForeignDoor { partition, door: b });
+            }
+        }
+
+        // Distance matrices: explicit override, else the distance model.
+        let mut dms = Vec::with_capacity(n_parts);
+        for (pi, doors) in part_doors.iter().enumerate() {
+            let partition = PartitionId::from_index(pi);
+            let polygon = self.partitions[pi].polygon.as_ref();
+            let dm = DistanceMatrix::build(doors.clone(), |a, b| {
+                let key = if a <= b { (partition, a, b) } else { (partition, b, a) };
+                if let Some(&d) = self.explicit.get(&key) {
+                    return d;
+                }
+                let pa = self.doors[a.index()].position;
+                let pb = self.doors[b.index()].position;
+                if self.distance_model == DistanceModel::Geodesic {
+                    if let Some(poly) = polygon {
+                        if let Some(d) = geodesic_distance(poly, pa, pb) {
+                            return d;
+                        }
+                    }
+                }
+                pa.distance(pb)
+            })?;
+            dms.push(dm);
+        }
+
+        let checkpoints = CheckpointSet::from_atis(self.doors.iter().map(|d| &d.atis));
+
+        Ok(IndoorSpace::from_parts(
+            self.partitions,
+            self.doors,
+            Topology {
+                door_leaves,
+                door_enters,
+                part_doors,
+                part_leaveable,
+                part_enterable,
+            },
+            dms,
+            checkpoints,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_room_builder() -> (VenueBuilder, PartitionId, PartitionId, DoorId) {
+        let mut b = VenueBuilder::new();
+        let p0 = b.add_partition("room", PartitionKind::Public);
+        let p1 = b.add_partition("hall", PartitionKind::Public);
+        let d = b.add_door("door", DoorKind::Public, AtiList::always_open(), Point::ORIGIN);
+        (b, p0, p1, d)
+    }
+
+    #[test]
+    fn empty_venue_rejected() {
+        assert_eq!(VenueBuilder::new().build().unwrap_err(), SpaceError::EmptyVenue);
+    }
+
+    #[test]
+    fn dangling_door_rejected() {
+        let (b, _, _, d) = two_room_builder();
+        assert_eq!(b.build().unwrap_err(), SpaceError::DanglingDoor(d));
+    }
+
+    #[test]
+    fn duplicate_connection_rejected() {
+        let (mut b, p0, p1, d) = two_room_builder();
+        b.connect(d, Connection::TwoWay(p0, p1)).unwrap();
+        assert_eq!(
+            b.connect(d, Connection::TwoWay(p1, p0)).unwrap_err(),
+            SpaceError::DuplicateConnection(d)
+        );
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let (mut b, p0, _, d) = two_room_builder();
+        assert_eq!(
+            b.connect(d, Connection::TwoWay(p0, p0)).unwrap_err(),
+            SpaceError::SelfLoop(d, p0)
+        );
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let (mut b, p0, _, d) = two_room_builder();
+        assert!(matches!(
+            b.connect(d, Connection::TwoWay(p0, PartitionId(99))),
+            Err(SpaceError::UnknownPartition(_))
+        ));
+        assert!(matches!(
+            b.connect(DoorId(42), Connection::Boundary(p0)),
+            Err(SpaceError::UnknownDoor(_))
+        ));
+        assert!(matches!(
+            b.set_distance(PartitionId(99), d, d, 1.0),
+            Err(SpaceError::UnknownPartition(_))
+        ));
+        assert!(matches!(
+            b.set_distance(p0, DoorId(42), d, 1.0),
+            Err(SpaceError::UnknownDoor(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_explicit_distance_rejected() {
+        let (mut b, p0, _, d) = two_room_builder();
+        assert!(matches!(
+            b.set_distance(p0, d, d, -2.0),
+            Err(SpaceError::InvalidDistance { .. })
+        ));
+        assert!(b.set_distance(p0, d, d, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn foreign_door_in_explicit_distance_rejected() {
+        let mut b = VenueBuilder::new();
+        let p0 = b.add_partition("a", PartitionKind::Public);
+        let p1 = b.add_partition("b", PartitionKind::Public);
+        let p2 = b.add_partition("c", PartitionKind::Public);
+        let d0 = b.add_door("d0", DoorKind::Public, AtiList::always_open(), Point::ORIGIN);
+        let d1 = b.add_door("d1", DoorKind::Public, AtiList::always_open(), Point::ORIGIN);
+        b.connect(d0, Connection::TwoWay(p0, p1)).unwrap();
+        b.connect(d1, Connection::TwoWay(p1, p2)).unwrap();
+        // d0 is not a door of p2.
+        b.set_distance(p2, d0, d1, 3.0).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(SpaceError::ForeignDoor { .. })
+        ));
+    }
+
+    #[test]
+    fn one_way_directionality() {
+        let mut b = VenueBuilder::new();
+        let v3 = b.add_partition("v3", PartitionKind::Public);
+        let v16 = b.add_partition("v16", PartitionKind::Public);
+        let d3 = b.add_door("d3", DoorKind::Public, AtiList::always_open(), Point::ORIGIN);
+        b.connect(d3, Connection::OneWay { from: v3, to: v16 }).unwrap();
+        let s = b.build().unwrap();
+        // The paper's example: D2P⊳(d3) = v3, D2P⊲(d3) = v16.
+        assert_eq!(s.d2p_leaveable(d3), &[v3]);
+        assert_eq!(s.d2p_enterable(d3), &[v16]);
+        assert_eq!(s.d2p(d3), vec![v3, v16]);
+        assert_eq!(s.p2d_leaveable(v3), &[d3]);
+        assert!(s.p2d_enterable(v3).is_empty());
+        assert_eq!(s.p2d_enterable(v16), &[d3]);
+        assert!(s.p2d_leaveable(v16).is_empty());
+    }
+
+    #[test]
+    fn boundary_door_has_single_side() {
+        let mut b = VenueBuilder::new();
+        let p = b.add_partition("lobby", PartitionKind::Public);
+        let d = b.add_door("roof", DoorKind::Private, AtiList::never_open(), Point::ORIGIN);
+        b.connect(d, Connection::Boundary(p)).unwrap();
+        let s = b.build().unwrap();
+        assert_eq!(s.d2p(d), vec![p]);
+        assert_eq!(s.d2p_enterable(d), &[p]);
+    }
+
+    #[test]
+    fn geodesic_model_bends_around_corners() {
+        use indoor_geom::Polygon;
+        // An L-shaped hallway whose two doors face each other across the
+        // removed quadrant.
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 5.0),
+            Point::new(5.0, 5.0),
+            Point::new(5.0, 10.0),
+            Point::new(0.0, 10.0),
+        ])
+        .unwrap();
+        let build = |model: DistanceModel| {
+            let mut b = VenueBuilder::new();
+            b.distance_model(model);
+            let hall = b.add_partition_on(
+                "L",
+                PartitionKind::Public,
+                crate::FloorId(0),
+                Some(l.clone()),
+            );
+            let side_a = b.add_partition("a", PartitionKind::Public);
+            let side_b = b.add_partition("b", PartitionKind::Public);
+            let da = b.add_door(
+                "da",
+                DoorKind::Public,
+                AtiList::always_open(),
+                Point::new(2.5, 10.0), // on the top arm
+            );
+            let db = b.add_door(
+                "db",
+                DoorKind::Public,
+                AtiList::always_open(),
+                Point::new(10.0, 2.5), // on the right arm
+            );
+            b.connect(da, Connection::TwoWay(hall, side_a)).unwrap();
+            b.connect(db, Connection::TwoWay(hall, side_b)).unwrap();
+            let s = b.build().unwrap();
+            s.door_to_door(hall, da, db).unwrap()
+        };
+        let euclid = build(DistanceModel::Euclidean);
+        let geo = build(DistanceModel::Geodesic);
+        let corner = Point::new(5.0, 5.0);
+        let expected =
+            Point::new(2.5, 10.0).distance(corner) + corner.distance(Point::new(10.0, 2.5));
+        assert!(geo > euclid + 0.1, "geodesic must exceed the blocked chord");
+        assert!((geo - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_distance_overrides_geometry() {
+        let mut b = VenueBuilder::new();
+        let p = b.add_partition("stair", PartitionKind::Public);
+        let q = b.add_partition("hall0", PartitionKind::Public);
+        let r = b.add_partition("hall1", PartitionKind::Public);
+        let lower = b.add_door("lower", DoorKind::Public, AtiList::always_open(), Point::ORIGIN);
+        let upper = b.add_door(
+            "upper",
+            DoorKind::Public,
+            AtiList::always_open(),
+            Point::new(1.0, 0.0), // geometric distance would be 1 m
+        );
+        b.connect(lower, Connection::TwoWay(q, p)).unwrap();
+        b.connect(upper, Connection::TwoWay(p, r)).unwrap();
+        b.set_distance(p, lower, upper, 20.0).unwrap(); // the paper's stairway
+        let s = b.build().unwrap();
+        assert_eq!(s.door_to_door(p, lower, upper), Some(20.0));
+        // Other partitions keep geometric distances.
+        assert_eq!(s.door_to_door(q, lower, lower), Some(0.0));
+    }
+}

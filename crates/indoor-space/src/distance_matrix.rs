@@ -1,0 +1,181 @@
+//! Intra-partition door-to-door distance matrices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DoorId, SpaceError};
+
+/// The `DM` vertex label of the IT-Graph: for one partition, the walking
+/// distance between every pair of its doors.
+///
+/// Distances are symmetric with a zero diagonal. The paper stores `null` for
+/// single-door partitions; here a 1×1 zero matrix plays that role.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    /// The partition's doors in ascending id order.
+    doors: Vec<DoorId>,
+    /// Row-major `n × n` distances in metres.
+    dist: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds a matrix for `doors` (must be sorted and distinct) using the
+    /// provided distance function.
+    ///
+    /// # Errors
+    /// Returns [`SpaceError::InvalidDistance`] if the function produces a
+    /// negative or non-finite distance.
+    pub fn build(
+        mut doors: Vec<DoorId>,
+        mut d: impl FnMut(DoorId, DoorId) -> f64,
+    ) -> Result<Self, SpaceError> {
+        doors.sort_unstable();
+        doors.dedup();
+        let n = doors.len();
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = d(doors[i], doors[j]);
+                if !v.is_finite() || v < 0.0 {
+                    return Err(SpaceError::InvalidDistance {
+                        a: doors[i],
+                        b: doors[j],
+                        value: v,
+                    });
+                }
+                dist[i * n + j] = v;
+                dist[j * n + i] = v;
+            }
+        }
+        Ok(DistanceMatrix { doors, dist })
+    }
+
+    /// The doors covered by this matrix, in ascending id order.
+    #[must_use]
+    pub fn doors(&self) -> &[DoorId] {
+        &self.doors
+    }
+
+    /// Number of doors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.doors.len()
+    }
+
+    /// Whether the matrix covers no doors (a door-less partition).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.doors.is_empty()
+    }
+
+    /// The index of `door` within the matrix, if present.
+    #[must_use]
+    pub fn position(&self, door: DoorId) -> Option<usize> {
+        self.doors.binary_search(&door).ok()
+    }
+
+    /// The walking distance between two doors of the partition, or `None` if
+    /// either door does not belong to it.
+    #[must_use]
+    pub fn distance(&self, a: DoorId, b: DoorId) -> Option<f64> {
+        let (i, j) = (self.position(a)?, self.position(b)?);
+        Some(self.dist[i * self.doors.len() + j])
+    }
+
+    /// Heap bytes used by this matrix (for the paper's memory-cost metric).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.doors.capacity() * std::mem::size_of::<DoorId>()
+            + self.dist.capacity() * std::mem::size_of::<f64>()
+    }
+
+    /// Verifies the triangle inequality within the matrix up to `tol` metres;
+    /// returns the first violating triple if any. Geometric venues satisfy
+    /// this; explicitly-specified matrices may not, which is worth surfacing.
+    #[must_use]
+    pub fn triangle_violation(&self, tol: f64) -> Option<(DoorId, DoorId, DoorId)> {
+        let n = self.doors.len();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    if self.dist[i * n + j] > self.dist[i * n + k] + self.dist[k * n + j] + tol {
+                        return Some((self.doors[i], self.doors[j], self.doors[k]));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DistanceMatrix {
+        // Paper's v16: (d3,d17)=2, (d3,d21)=4, (d17,d21)=5.
+        DistanceMatrix::build(vec![DoorId(3), DoorId(17), DoorId(21)], |a, b| {
+            match (a.0, b.0) {
+                (3, 17) | (17, 3) => 2.0,
+                (3, 21) | (21, 3) => 4.0,
+                (17, 21) | (21, 17) => 5.0,
+                _ => 0.0,
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn lookups_are_symmetric_with_zero_diagonal() {
+        let dm = sample();
+        assert_eq!(dm.len(), 3);
+        assert_eq!(dm.distance(DoorId(3), DoorId(17)), Some(2.0));
+        assert_eq!(dm.distance(DoorId(17), DoorId(3)), Some(2.0));
+        assert_eq!(dm.distance(DoorId(3), DoorId(21)), Some(4.0));
+        assert_eq!(dm.distance(DoorId(17), DoorId(21)), Some(5.0));
+        assert_eq!(dm.distance(DoorId(3), DoorId(3)), Some(0.0));
+        assert_eq!(dm.distance(DoorId(3), DoorId(99)), None);
+    }
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let dm = DistanceMatrix::build(vec![DoorId(5), DoorId(1), DoorId(5)], |_, _| 1.0).unwrap();
+        assert_eq!(dm.doors(), &[DoorId(1), DoorId(5)]);
+        assert_eq!(dm.len(), 2);
+    }
+
+    #[test]
+    fn rejects_invalid_distances() {
+        let err = DistanceMatrix::build(vec![DoorId(0), DoorId(1)], |_, _| -1.0);
+        assert!(matches!(err, Err(SpaceError::InvalidDistance { .. })));
+        let err = DistanceMatrix::build(vec![DoorId(0), DoorId(1)], |_, _| f64::NAN);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn single_door_matrix_is_trivial() {
+        let dm = DistanceMatrix::build(vec![DoorId(7)], |_, _| unreachable!()).unwrap();
+        assert_eq!(dm.distance(DoorId(7), DoorId(7)), Some(0.0));
+        assert!(!dm.is_empty());
+    }
+
+    #[test]
+    fn triangle_check() {
+        // The sample (2, 4, 5) satisfies the triangle inequality: 5 <= 2+4.
+        assert_eq!(sample().triangle_violation(1e-9), None);
+        // 10 > 1 + 1 violates it.
+        let bad = DistanceMatrix::build(vec![DoorId(0), DoorId(1), DoorId(2)], |a, b| {
+            if (a.0, b.0) == (0, 2) || (a.0, b.0) == (2, 0) {
+                10.0
+            } else {
+                1.0
+            }
+        })
+        .unwrap();
+        assert!(bad.triangle_violation(1e-9).is_some());
+    }
+
+    #[test]
+    fn heap_bytes_positive() {
+        assert!(sample().heap_bytes() >= 3 * 3 * 8);
+    }
+}

@@ -1,0 +1,82 @@
+//! Dense integer identifiers for venue entities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// The raw dense index.
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index.
+            #[must_use]
+            pub fn from_index(i: usize) -> Self {
+                $name(i as $repr)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an indoor partition (a vertex of the IT-Graph).
+    PartitionId,
+    "v",
+    u32
+);
+id_type!(
+    /// Identifier of a door (an edge label of the IT-Graph).
+    DoorId,
+    "d",
+    u32
+);
+id_type!(
+    /// Identifier of a floor in a multi-floor venue.
+    FloorId,
+    "F",
+    u16
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_display() {
+        let p = PartitionId::from_index(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.to_string(), "v7");
+        assert_eq!(DoorId(3).to_string(), "d3");
+        assert_eq!(FloorId(2).to_string(), "F2");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(DoorId(1) < DoorId(2));
+        assert!(PartitionId(10) > PartitionId(9));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        assert_eq!(serde_json::to_string(&DoorId(5)).unwrap(), "5");
+        let d: DoorId = serde_json::from_str("5").unwrap();
+        assert_eq!(d, DoorId(5));
+    }
+}

@@ -1,0 +1,40 @@
+//! Indoor points: query endpoints located inside a partition.
+
+use indoor_geom::Point;
+use serde::{Deserialize, Serialize};
+
+use crate::PartitionId;
+
+/// A point inside a specific partition — the `ps` / `pt` of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndoorPoint {
+    /// The covering partition `P(p)`.
+    pub partition: PartitionId,
+    /// Position in the floor's local frame.
+    pub position: Point,
+}
+
+impl IndoorPoint {
+    /// Creates an indoor point.
+    #[must_use]
+    pub fn new(partition: PartitionId, position: Point) -> Self {
+        IndoorPoint { partition, position }
+    }
+}
+
+impl std::fmt::Display for IndoorPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.partition, self.position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let p = IndoorPoint::new(PartitionId(3), Point::new(1.0, 2.0));
+        assert_eq!(p.to_string(), "v3@(1.00, 2.00)");
+    }
+}

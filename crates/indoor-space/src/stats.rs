@@ -1,0 +1,131 @@
+//! Venue summary statistics.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DoorKind, IndoorSpace, PartitionKind};
+
+/// Counts describing a venue — used to verify the synthetic generator against
+/// the paper's reported sizes (141 partitions / 224 doors per floor; 705 /
+/// 1120 for the default five-floor venue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceStats {
+    /// Total partitions (including outdoor if modelled).
+    pub partitions: usize,
+    /// Public (`PBP`) partitions.
+    pub public_partitions: usize,
+    /// Private (`PRP`) partitions.
+    pub private_partitions: usize,
+    /// Outdoor partitions.
+    pub outdoor_partitions: usize,
+    /// Total doors.
+    pub doors: usize,
+    /// Public (`PBD`) doors.
+    pub public_doors: usize,
+    /// Private (`PRD`) doors.
+    pub private_doors: usize,
+    /// Doors whose ATIs actually vary during the day.
+    pub doors_with_variation: usize,
+    /// Distinct floors.
+    pub floors: usize,
+    /// Size of the checkpoint set `|T|` (including the implicit midnight).
+    pub checkpoints: usize,
+}
+
+impl SpaceStats {
+    pub(crate) fn compute(space: &IndoorSpace) -> Self {
+        let mut s = SpaceStats {
+            partitions: space.num_partitions(),
+            public_partitions: 0,
+            private_partitions: 0,
+            outdoor_partitions: 0,
+            doors: space.num_doors(),
+            public_doors: 0,
+            private_doors: 0,
+            doors_with_variation: 0,
+            floors: 0,
+            checkpoints: space.checkpoints().len(),
+        };
+        let mut floors = BTreeSet::new();
+        for p in space.partitions() {
+            match p.kind {
+                PartitionKind::Public => s.public_partitions += 1,
+                PartitionKind::Private => s.private_partitions += 1,
+                PartitionKind::Outdoor => s.outdoor_partitions += 1,
+            }
+            floors.insert(p.floor);
+        }
+        for d in space.doors() {
+            match d.kind {
+                DoorKind::Public => s.public_doors += 1,
+                DoorKind::Private => s.private_doors += 1,
+            }
+            if d.has_temporal_variation() {
+                s.doors_with_variation += 1;
+            }
+        }
+        s.floors = floors.len();
+        s
+    }
+}
+
+impl fmt::Display for SpaceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} partitions ({} PBP, {} PRP, {} OUT) on {} floor(s); \
+             {} doors ({} PBD, {} PRD, {} varying); |T| = {}",
+            self.partitions,
+            self.public_partitions,
+            self.private_partitions,
+            self.outdoor_partitions,
+            self.floors,
+            self.doors,
+            self.public_doors,
+            self.private_doors,
+            self.doors_with_variation,
+            self.checkpoints,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Connection, VenueBuilder};
+    use indoor_geom::Point;
+    use indoor_time::AtiList;
+
+    #[test]
+    fn counts() {
+        let mut b = VenueBuilder::new();
+        let a = b.add_partition("a", PartitionKind::Public);
+        let c = b.add_partition("b", PartitionKind::Private);
+        let o = b.add_partition("out", PartitionKind::Outdoor);
+        let d0 = b.add_door("d0", DoorKind::Public, AtiList::always_open(), Point::ORIGIN);
+        let d1 = b.add_door(
+            "d1",
+            DoorKind::Private,
+            AtiList::hm(&[((8, 0), (16, 0))]),
+            Point::ORIGIN,
+        );
+        b.connect(d0, Connection::TwoWay(a, o)).unwrap();
+        b.connect(d1, Connection::TwoWay(a, c)).unwrap();
+        let s = b.build().unwrap().stats();
+        assert_eq!(s.partitions, 3);
+        assert_eq!(s.public_partitions, 1);
+        assert_eq!(s.private_partitions, 1);
+        assert_eq!(s.outdoor_partitions, 1);
+        assert_eq!(s.doors, 2);
+        assert_eq!(s.public_doors, 1);
+        assert_eq!(s.private_doors, 1);
+        assert_eq!(s.doors_with_variation, 1);
+        assert_eq!(s.floors, 1);
+        assert_eq!(s.checkpoints, 3); // 0:00, 8:00, 16:00
+        let text = s.to_string();
+        assert!(text.contains("3 partitions"));
+        assert!(text.contains("|T| = 3"));
+    }
+}

@@ -1,0 +1,317 @@
+//! The assembled indoor space.
+
+use indoor_geom::Point;
+use indoor_time::CheckpointSet;
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    DistanceMatrix, DoorId, DoorRecord, FloorId, IndoorPoint, PartitionId, PartitionRecord,
+    SpaceStats,
+};
+
+/// Derived connectivity of a venue (the paper's accessibility mappings).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct Topology {
+    /// `D2P⊳(d)` — partitions one can leave through door `d`.
+    pub door_leaves: Vec<Vec<PartitionId>>,
+    /// `D2P⊲(d)` — partitions one can enter through door `d`.
+    pub door_enters: Vec<Vec<PartitionId>>,
+    /// `P2D(v)` — all doors of partition `v`.
+    pub part_doors: Vec<Vec<DoorId>>,
+    /// `P2D⊳(v)` — doors through which one can leave `v`.
+    pub part_leaveable: Vec<Vec<DoorId>>,
+    /// `P2D⊲(v)` — doors through which one can enter `v`.
+    pub part_enterable: Vec<Vec<DoorId>>,
+}
+
+/// A validated indoor venue: partitions, doors, directional topology,
+/// intra-partition distance matrices and the checkpoint set of all door ATIs.
+///
+/// Construct via [`crate::VenueBuilder`]; the paper's running example is
+/// available from [`crate::paper_example::build`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndoorSpace {
+    partitions: Vec<PartitionRecord>,
+    doors: Vec<DoorRecord>,
+    topology: Topology,
+    dms: Vec<DistanceMatrix>,
+    checkpoints: CheckpointSet,
+}
+
+impl IndoorSpace {
+    pub(crate) fn from_parts(
+        partitions: Vec<PartitionRecord>,
+        doors: Vec<DoorRecord>,
+        topology: Topology,
+        dms: Vec<DistanceMatrix>,
+        checkpoints: CheckpointSet,
+    ) -> Self {
+        IndoorSpace {
+            partitions,
+            doors,
+            topology,
+            dms,
+            checkpoints,
+        }
+    }
+
+    /// All partitions, indexable by [`PartitionId::index`].
+    #[must_use]
+    pub fn partitions(&self) -> &[PartitionRecord] {
+        &self.partitions
+    }
+
+    /// All doors, indexable by [`DoorId::index`].
+    #[must_use]
+    pub fn doors(&self) -> &[DoorRecord] {
+        &self.doors
+    }
+
+    /// Number of partitions.
+    #[must_use]
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Number of doors.
+    #[must_use]
+    pub fn num_doors(&self) -> usize {
+        self.doors.len()
+    }
+
+    /// The record of a partition. Panics on a foreign id (ids are dense and
+    /// only minted by the builder).
+    #[must_use]
+    pub fn partition(&self, id: PartitionId) -> &PartitionRecord {
+        &self.partitions[id.index()]
+    }
+
+    /// The record of a door. Panics on a foreign id.
+    #[must_use]
+    pub fn door(&self, id: DoorId) -> &DoorRecord {
+        &self.doors[id.index()]
+    }
+
+    /// `P2D(v)`: all doors of partition `v`.
+    #[must_use]
+    pub fn p2d(&self, v: PartitionId) -> &[DoorId] {
+        &self.topology.part_doors[v.index()]
+    }
+
+    /// `P2D⊳(v)`: doors through which one can leave `v`.
+    #[must_use]
+    pub fn p2d_leaveable(&self, v: PartitionId) -> &[DoorId] {
+        &self.topology.part_leaveable[v.index()]
+    }
+
+    /// `P2D⊲(v)`: doors through which one can enter `v`.
+    #[must_use]
+    pub fn p2d_enterable(&self, v: PartitionId) -> &[DoorId] {
+        &self.topology.part_enterable[v.index()]
+    }
+
+    /// `D2P(d)`: the partitions connected by door `d` (one or two).
+    #[must_use]
+    pub fn d2p(&self, d: DoorId) -> Vec<PartitionId> {
+        let mut out = self.topology.door_leaves[d.index()].clone();
+        for &p in &self.topology.door_enters[d.index()] {
+            if !out.contains(&p) {
+                out.push(p);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// `D2P⊳(d)`: partitions one can leave through door `d`.
+    #[must_use]
+    pub fn d2p_leaveable(&self, d: DoorId) -> &[PartitionId] {
+        &self.topology.door_leaves[d.index()]
+    }
+
+    /// `D2P⊲(d)`: partitions one can enter through door `d`.
+    #[must_use]
+    pub fn d2p_enterable(&self, d: DoorId) -> &[PartitionId] {
+        &self.topology.door_enters[d.index()]
+    }
+
+    /// The distance matrix of partition `v`.
+    #[must_use]
+    pub fn distance_matrix(&self, v: PartitionId) -> &DistanceMatrix {
+        &self.dms[v.index()]
+    }
+
+    /// `DM(v, a, b)`: intra-partition walking distance between doors `a` and
+    /// `b` of `v`, or `None` if either door is not on `v`.
+    #[must_use]
+    pub fn door_to_door(&self, v: PartitionId, a: DoorId, b: DoorId) -> Option<f64> {
+        self.dms[v.index()].distance(a, b)
+    }
+
+    /// Walking distance from an indoor point to a door of its partition
+    /// (`|p, d|_E` in the paper), or `None` if the door is not on the
+    /// partition.
+    #[must_use]
+    pub fn point_to_door(&self, p: &IndoorPoint, d: DoorId) -> Option<f64> {
+        if !self.p2d(p.partition).contains(&d) {
+            return None;
+        }
+        Some(p.position.distance(self.doors[d.index()].position))
+    }
+
+    /// Straight-line distance between two points of the *same* partition, or
+    /// `None` if they lie in different partitions.
+    #[must_use]
+    pub fn point_to_point(&self, a: &IndoorPoint, b: &IndoorPoint) -> Option<f64> {
+        (a.partition == b.partition).then(|| a.position.distance(b.position))
+    }
+
+    /// The venue's checkpoint set `T` (all door open/close instants).
+    #[must_use]
+    pub fn checkpoints(&self) -> &CheckpointSet {
+        &self.checkpoints
+    }
+
+    /// Finds the partition on `floor` whose footprint contains `p` (first
+    /// match; partitions with no polygon are skipped).
+    #[must_use]
+    pub fn locate(&self, floor: FloorId, p: Point) -> Option<PartitionId> {
+        self.partitions
+            .iter()
+            .find(|part| {
+                part.floor == floor
+                    && part.polygon.as_ref().is_some_and(|poly| poly.contains(p))
+            })
+            .map(|part| part.id)
+    }
+
+    /// Summary statistics of the venue.
+    #[must_use]
+    pub fn stats(&self) -> SpaceStats {
+        SpaceStats::compute(self)
+    }
+
+    /// Approximate heap footprint of the venue model in bytes (used by the
+    /// memory-cost experiments).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        let mut total = 0;
+        total += self.partitions.capacity() * std::mem::size_of::<PartitionRecord>();
+        total += self.doors.capacity() * std::mem::size_of::<DoorRecord>();
+        for dm in &self.dms {
+            total += dm.heap_bytes();
+        }
+        let vec_bytes_d = |v: &Vec<Vec<DoorId>>| -> usize {
+            v.iter()
+                .map(|x| x.capacity() * std::mem::size_of::<DoorId>() + 24)
+                .sum()
+        };
+        let vec_bytes_p = |v: &Vec<Vec<PartitionId>>| -> usize {
+            v.iter()
+                .map(|x| x.capacity() * std::mem::size_of::<PartitionId>() + 24)
+                .sum()
+        };
+        total += vec_bytes_p(&self.topology.door_leaves);
+        total += vec_bytes_p(&self.topology.door_enters);
+        total += vec_bytes_d(&self.topology.part_doors);
+        total += vec_bytes_d(&self.topology.part_leaveable);
+        total += vec_bytes_d(&self.topology.part_enterable);
+        total += self.checkpoints.len() * std::mem::size_of::<indoor_time::TimeOfDay>();
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Connection, DoorKind, PartitionKind, VenueBuilder};
+    use indoor_time::{AtiList, TimeOfDay};
+
+    /// room --d0-- hall --d1-- office, d1 private one-way into office.
+    fn venue() -> (IndoorSpace, [PartitionId; 3], [DoorId; 2]) {
+        let mut b = VenueBuilder::new();
+        let room = b.add_partition("room", PartitionKind::Public);
+        let hall = b.add_partition("hall", PartitionKind::Public);
+        let office = b.add_partition("office", PartitionKind::Private);
+        let d0 = b.add_door(
+            "d0",
+            DoorKind::Public,
+            AtiList::hm(&[((8, 0), (18, 0))]),
+            Point::new(0.0, 0.0),
+        );
+        let d1 = b.add_door(
+            "d1",
+            DoorKind::Private,
+            AtiList::hm(&[((9, 0), (17, 0))]),
+            Point::new(6.0, 8.0),
+        );
+        b.connect(d0, Connection::TwoWay(room, hall)).unwrap();
+        b.connect(d1, Connection::OneWay { from: hall, to: office }).unwrap();
+        (b.build().unwrap(), [room, hall, office], [d0, d1])
+    }
+
+    #[test]
+    fn mappings() {
+        let (s, [room, hall, office], [d0, d1]) = venue();
+        assert_eq!(s.p2d(hall), &[d0, d1]);
+        assert_eq!(s.p2d_leaveable(hall), &[d0, d1]);
+        assert_eq!(s.p2d_enterable(hall), &[d0]);
+        assert_eq!(s.p2d_enterable(office), &[d1]);
+        assert!(s.p2d_leaveable(office).is_empty());
+        assert_eq!(s.d2p(d1), vec![hall, office]);
+        assert_eq!(s.d2p_leaveable(d0), &[room, hall]);
+    }
+
+    #[test]
+    fn distances() {
+        let (s, [_, hall, _], [d0, d1]) = venue();
+        assert_eq!(s.door_to_door(hall, d0, d1), Some(10.0));
+        assert_eq!(s.door_to_door(hall, d0, d0), Some(0.0));
+        // d1 is not a door of room (index 0).
+        let (_, [room, ..], _) = venue();
+        assert_eq!(s.door_to_door(room, d0, d1), None);
+    }
+
+    #[test]
+    fn point_distances() {
+        let (s, [room, hall, _], [d0, d1]) = venue();
+        let p = IndoorPoint::new(room, Point::new(3.0, 4.0));
+        assert_eq!(s.point_to_door(&p, d0), Some(5.0));
+        assert_eq!(s.point_to_door(&p, d1), None); // d1 not on room
+        let q = IndoorPoint::new(room, Point::new(0.0, 0.0));
+        assert_eq!(s.point_to_point(&p, &q), Some(5.0));
+        let h = IndoorPoint::new(hall, Point::new(0.0, 0.0));
+        assert_eq!(s.point_to_point(&p, &h), None);
+    }
+
+    #[test]
+    fn checkpoints_collected() {
+        let (s, _, _) = venue();
+        assert_eq!(
+            s.checkpoints().times(),
+            &[
+                TimeOfDay::MIDNIGHT,
+                TimeOfDay::hm(8, 0),
+                TimeOfDay::hm(9, 0),
+                TimeOfDay::hm(17, 0),
+                TimeOfDay::hm(18, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (s, _, _) = venue();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: IndoorSpace = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn heap_bytes_reasonable() {
+        let (s, _, _) = venue();
+        let b = s.heap_bytes();
+        assert!(b > 100, "suspiciously small: {b}");
+        assert!(b < 1_000_000, "suspiciously large: {b}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Non-negative time spans.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul};
+
+use serde::{Deserialize, Serialize};
+
+use crate::TimeError;
+
+/// A non-negative span of time in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DurationSecs(f64);
+
+impl DurationSecs {
+    /// The zero duration.
+    pub const ZERO: DurationSecs = DurationSecs(0.0);
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Errors
+    /// Returns [`TimeError::NegativeDuration`] if `secs` is negative or not
+    /// finite.
+    pub fn new(secs: f64) -> Result<Self, TimeError> {
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(TimeError::NegativeDuration(secs));
+        }
+        Ok(DurationSecs(secs))
+    }
+
+    /// Creates a duration from whole minutes.
+    #[must_use]
+    pub fn from_minutes(minutes: f64) -> Self {
+        DurationSecs((minutes * 60.0).max(0.0))
+    }
+
+    /// The span in seconds.
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// The span in minutes.
+    #[must_use]
+    pub fn minutes(self) -> f64 {
+        self.0 / 60.0
+    }
+}
+
+impl Eq for DurationSecs {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for DurationSecs {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("DurationSecs is finite")
+    }
+}
+
+impl Add for DurationSecs {
+    type Output = DurationSecs;
+
+    fn add(self, rhs: DurationSecs) -> DurationSecs {
+        DurationSecs(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for DurationSecs {
+    type Output = DurationSecs;
+
+    fn mul(self, rhs: f64) -> DurationSecs {
+        DurationSecs((self.0 * rhs).max(0.0))
+    }
+}
+
+impl Div<f64> for DurationSecs {
+    type Output = DurationSecs;
+
+    fn div(self, rhs: f64) -> DurationSecs {
+        DurationSecs((self.0 / rhs).max(0.0))
+    }
+}
+
+impl fmt::Display for DurationSecs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 60.0 {
+            write!(f, "{:.1}min", self.minutes())
+        } else {
+            write!(f, "{:.1}s", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_negative_and_non_finite() {
+        assert!(DurationSecs::new(-0.5).is_err());
+        assert!(DurationSecs::new(f64::INFINITY).is_err());
+        assert!(DurationSecs::new(f64::NAN).is_err());
+        assert!(DurationSecs::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = DurationSecs::new(90.0).unwrap();
+        let b = DurationSecs::new(30.0).unwrap();
+        assert_eq!((a + b).seconds(), 120.0);
+        assert_eq!((a * 2.0).seconds(), 180.0);
+        assert_eq!((a / 3.0).seconds(), 30.0);
+        assert_eq!(a.minutes(), 1.5);
+    }
+
+    #[test]
+    fn from_minutes_clamps() {
+        assert_eq!(DurationSecs::from_minutes(2.0).seconds(), 120.0);
+        assert_eq!(DurationSecs::from_minutes(-1.0), DurationSecs::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DurationSecs::new(42.0).unwrap().to_string(), "42.0s");
+        assert_eq!(DurationSecs::new(120.0).unwrap().to_string(), "2.0min");
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for temporal operations.
+
+use std::fmt;
+
+/// Errors raised when constructing temporal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimeError {
+    /// A time value outside its valid domain (seconds shown).
+    OutOfRange(f64),
+    /// A negative or non-finite duration (seconds shown).
+    NegativeDuration(f64),
+    /// An interval whose end does not lie strictly after its start.
+    EmptyInterval {
+        /// Interval start in seconds since midnight.
+        start: f64,
+        /// Interval end in seconds since midnight.
+        end: f64,
+    },
+    /// A velocity that is zero, negative or not finite (m/s shown).
+    InvalidVelocity(f64),
+}
+
+impl fmt::Display for TimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeError::OutOfRange(s) => write!(f, "time value out of range: {s} s"),
+            TimeError::NegativeDuration(s) => {
+                write!(f, "duration must be finite and non-negative, got {s} s")
+            }
+            TimeError::EmptyInterval { start, end } => {
+                write!(f, "interval end ({end} s) must be after start ({start} s)")
+            }
+            TimeError::InvalidVelocity(v) => {
+                write!(f, "velocity must be finite and positive, got {v} m/s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(TimeError::OutOfRange(-3.0).to_string().contains("-3"));
+        assert!(TimeError::NegativeDuration(-1.0).to_string().contains("non-negative"));
+        assert!(TimeError::EmptyInterval { start: 5.0, end: 5.0 }
+            .to_string()
+            .contains("after start"));
+        assert!(TimeError::InvalidVelocity(0.0).to_string().contains("positive"));
+    }
+}

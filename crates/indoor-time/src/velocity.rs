@@ -1,0 +1,82 @@
+//! Walking-speed model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DurationSecs, TimeError};
+
+/// A walking velocity in metres per second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Velocity(f64);
+
+/// The paper's human average walking speed: 5 km/h.
+pub const WALKING_SPEED: Velocity = Velocity(5000.0 / 3600.0);
+
+impl Velocity {
+    /// Creates a velocity from metres per second.
+    ///
+    /// # Errors
+    /// Returns [`TimeError::InvalidVelocity`] unless `mps` is finite and
+    /// positive.
+    pub fn from_mps(mps: f64) -> Result<Self, TimeError> {
+        if !mps.is_finite() || mps <= 0.0 {
+            return Err(TimeError::InvalidVelocity(mps));
+        }
+        Ok(Velocity(mps))
+    }
+
+    /// Creates a velocity from kilometres per hour.
+    ///
+    /// # Errors
+    /// Returns [`TimeError::InvalidVelocity`] unless `kmh` is finite and
+    /// positive.
+    pub fn from_kmh(kmh: f64) -> Result<Self, TimeError> {
+        Self::from_mps(kmh * 1000.0 / 3600.0)
+    }
+
+    /// Metres per second.
+    #[must_use]
+    pub fn mps(self) -> f64 {
+        self.0
+    }
+
+    /// Kilometres per hour.
+    #[must_use]
+    pub fn kmh(self) -> f64 {
+        self.0 * 3.6
+    }
+
+    /// The walking time `Δt = dist / velocity` for a distance in metres
+    /// (negative distances are treated as zero).
+    #[must_use]
+    pub fn travel_time(self, distance_m: f64) -> DurationSecs {
+        DurationSecs::new((distance_m / self.0).max(0.0)).expect("finite travel time")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_walking_speed() {
+        assert!((WALKING_SPEED.kmh() - 5.0).abs() < 1e-12);
+        assert!((WALKING_SPEED.mps() - 1.388_888_9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn travel_time() {
+        // 5 km at 5 km/h takes one hour.
+        assert!((WALKING_SPEED.travel_time(5000.0).seconds() - 3600.0).abs() < 1e-9);
+        assert_eq!(WALKING_SPEED.travel_time(0.0).seconds(), 0.0);
+        assert_eq!(WALKING_SPEED.travel_time(-3.0).seconds(), 0.0);
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(Velocity::from_mps(0.0).is_err());
+        assert!(Velocity::from_mps(-1.0).is_err());
+        assert!(Velocity::from_mps(f64::NAN).is_err());
+        assert!((Velocity::from_kmh(3.6).unwrap().mps() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the temporal substrate.
+
+use indoor_time::{AtiList, CheckpointSet, Interval, TimeOfDay, Timestamp, SECONDS_PER_DAY};
+use proptest::prelude::*;
+
+fn arb_time() -> impl Strategy<Value = TimeOfDay> {
+    (0u32..86_400).prop_map(|s| TimeOfDay::from_seconds(f64::from(s)).unwrap())
+}
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0u32..86_399, 1u32..=86_400)
+        .prop_filter_map("non-empty interval", |(a, len)| {
+            let end = (a + len).min(86_400);
+            if end <= a {
+                return None;
+            }
+            Some(
+                Interval::new(
+                    TimeOfDay::from_seconds(f64::from(a)).unwrap(),
+                    TimeOfDay::from_seconds(f64::from(end)).unwrap(),
+                )
+                .unwrap(),
+            )
+        })
+}
+
+fn arb_ati() -> impl Strategy<Value = AtiList> {
+    prop::collection::vec(arb_interval(), 0..6)
+        .prop_map(|ivs| AtiList::from_intervals(ivs).unwrap())
+}
+
+proptest! {
+    /// Normalised ATI lists are sorted, disjoint and non-adjacent.
+    #[test]
+    fn ati_normalisation_invariants(atis in arb_ati()) {
+        let ivs = atis.intervals();
+        for w in ivs.windows(2) {
+            prop_assert!(w[0].end() < w[1].start(),
+                "intervals must be disjoint and non-adjacent: {} vs {}", w[0], w[1]);
+        }
+    }
+
+    /// Membership in the normalised list equals membership in any source interval.
+    #[test]
+    fn ati_membership_matches_sources(ivs in prop::collection::vec(arb_interval(), 0..6),
+                                      t in arb_time()) {
+        let atis = AtiList::from_intervals(ivs.clone()).unwrap();
+        let expected = ivs.iter().any(|iv| iv.contains(t));
+        prop_assert_eq!(atis.is_open(t), expected);
+    }
+
+    /// Total open time is preserved (merging never loses or duplicates time).
+    #[test]
+    fn ati_open_seconds_bounded(ivs in prop::collection::vec(arb_interval(), 0..6)) {
+        let atis = AtiList::from_intervals(ivs.clone()).unwrap();
+        let naive_sum: f64 = ivs.iter().map(|iv| iv.duration_seconds()).sum();
+        prop_assert!(atis.open_seconds() <= naive_sum + 1e-9);
+        prop_assert!(atis.open_seconds() <= SECONDS_PER_DAY + 1e-9);
+        if let Some(max_single) = ivs
+            .iter()
+            .map(|iv| iv.duration_seconds())
+            .max_by(|a, b| a.partial_cmp(b).unwrap())
+        {
+            prop_assert!(atis.open_seconds() >= max_single - 1e-9);
+        }
+    }
+
+    /// The door state is constant strictly inside checkpoint intervals.
+    #[test]
+    fn state_constant_between_checkpoints(atis in arb_ati(), t in arb_time()) {
+        let cps = CheckpointSet::from_atis([&atis]);
+        let (lo, hi) = cps.interval_of(t);
+        let state = atis.is_open(t);
+        // Probe a few instants in the same checkpoint interval.
+        let hi_s = hi.map_or(SECONDS_PER_DAY, |h| h.seconds());
+        for frac in [0.1, 0.5, 0.9] {
+            let probe = lo.seconds() + (hi_s - lo.seconds()) * frac;
+            let probe_t = TimeOfDay::from_seconds(probe.min(SECONDS_PER_DAY - 1.0)).unwrap();
+            if probe_t >= lo && (hi.is_none() || probe_t < hi.unwrap()) {
+                prop_assert_eq!(atis.is_open(probe_t), state,
+                    "state changed inside checkpoint interval [{}, {:?}) at {}", lo, hi, probe_t);
+            }
+        }
+    }
+
+    /// previous(t) <= t < next(t) whenever next exists.
+    #[test]
+    fn checkpoint_bracketing(times in prop::collection::vec(arb_time(), 0..12), t in arb_time()) {
+        let cps = CheckpointSet::from_times(times);
+        let prev = cps.previous(t);
+        prop_assert!(prev <= t);
+        if let Some(next) = cps.next(t) {
+            prop_assert!(t < next);
+            // No checkpoint lies strictly between prev and next.
+            for &cp in cps.times() {
+                prop_assert!(!(prev < cp && cp < next));
+            }
+        }
+    }
+
+    /// next_instant is strictly increasing and lands on a checkpoint clock time.
+    #[test]
+    fn next_instant_is_future_checkpoint(times in prop::collection::vec(arb_time(), 0..12),
+                                         secs in 0.0f64..2.0 * SECONDS_PER_DAY) {
+        let cps = CheckpointSet::from_times(times);
+        let ts = Timestamp::from_seconds(secs).unwrap();
+        let ni = cps.next_instant(ts);
+        prop_assert!(ni > ts);
+        let clock = ni.time_of_day();
+        prop_assert!(cps.times().contains(&clock),
+            "next_instant clock time {} not a checkpoint", clock);
+    }
+
+    /// Timestamp::time_of_day is idempotent under day shifts.
+    #[test]
+    fn timestamp_day_reduction(secs in 0.0f64..SECONDS_PER_DAY) {
+        let t0 = Timestamp::from_seconds(secs).unwrap();
+        let t1 = Timestamp::from_seconds(secs + SECONDS_PER_DAY).unwrap();
+        prop_assert!((t0.time_of_day().seconds() - t1.time_of_day().seconds()).abs() < 1e-6);
+    }
+
+    /// Serde round-trip preserves ATI lists exactly.
+    #[test]
+    fn ati_serde_round_trip(atis in arb_ati()) {
+        let json = serde_json::to_string(&atis).unwrap();
+        let back: AtiList = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(atis, back);
+    }
+}

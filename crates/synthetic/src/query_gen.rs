@@ -1,0 +1,267 @@
+//! Query-instance generation controlled by `δs2t`.
+//!
+//! Following §III-1 of the paper: pick a random start point `ps`, find a door
+//! whose temporal-oblivious indoor distance from `ps` approximates `δs2t`,
+//! then expand through that door to a random target point `pt` whose indoor
+//! distance from `ps` approaches `δs2t`. Five `(ps, pt)` pairs are generated
+//! per setting by default, with `t` fixed (12:00 unless configured).
+
+use indoor_geom::Point;
+use indoor_space::{DoorId, IndoorPoint, PartitionId, PartitionKind};
+use indoor_time::TimeOfDay;
+use itspq_core::{baselines, ItGraph, Query};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of query generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryGenConfig {
+    /// Target indoor distance `δs2t` between `ps` and `pt` in metres
+    /// (paper: 1100–1900, default 1500).
+    pub delta_s2t: f64,
+    /// Number of query instances (paper: 5 per setting).
+    pub count: usize,
+    /// The query time `t` (paper default 12:00).
+    pub time: TimeOfDay,
+    /// Relative tolerance on the realised distance (default 10 %).
+    pub tolerance: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        QueryGenConfig {
+            delta_s2t: 1500.0,
+            count: 5,
+            time: TimeOfDay::hm(12, 0),
+            tolerance: 0.10,
+            seed: 0x9E0_5EED,
+        }
+    }
+}
+
+impl QueryGenConfig {
+    /// Returns a copy with the given `δs2t`.
+    #[must_use]
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta_s2t = delta;
+        self
+    }
+
+    /// Returns a copy with the given query time.
+    #[must_use]
+    pub fn with_time(mut self, time: TimeOfDay) -> Self {
+        self.time = time;
+        self
+    }
+
+    /// Returns a copy with the given instance count.
+    #[must_use]
+    pub fn with_count(mut self, count: usize) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Returns a copy with the given seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A generated query plus the realised (temporal-oblivious) distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratedQuery {
+    /// The ITSPQ query instance.
+    pub query: Query,
+    /// The temporal-oblivious indoor distance from `ps` to `pt` actually
+    /// achieved (within tolerance of `δs2t`).
+    pub realised_distance: f64,
+}
+
+/// Generates `cfg.count` query instances on the venue underlying `graph`.
+///
+/// # Panics
+/// Panics if the venue has no public partitions with polygons, or if no
+/// instance within tolerance can be found after a bounded number of attempts
+/// (pick a `δs2t` compatible with the venue diameter).
+#[must_use]
+pub fn generate_queries(graph: &ItGraph, cfg: &QueryGenConfig) -> Vec<GeneratedQuery> {
+    let space = graph.space();
+    let candidates: Vec<PartitionId> = space
+        .partitions()
+        .iter()
+        .filter(|p| p.kind == PartitionKind::Public && p.polygon.is_some())
+        .map(|p| p.id)
+        .collect();
+    assert!(
+        !candidates.is_empty(),
+        "venue has no public partitions with polygons"
+    );
+
+    let mut out = Vec::with_capacity(cfg.count);
+    let mut attempt = 0u64;
+    while out.len() < cfg.count {
+        assert!(
+            attempt < 200 + 40 * cfg.count as u64,
+            "could not realise δs2t = {} on this venue (diameter too small?)",
+            cfg.delta_s2t
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xA11CE + attempt));
+        attempt += 1;
+
+        // 1. Random start point in a random public partition.
+        let ps_part = candidates[rng.random_range(0..candidates.len())];
+        let ps = IndoorPoint::new(ps_part, random_point_in(space, ps_part, &mut rng));
+
+        // 2. Temporal-oblivious distances from ps to every door; pick the
+        //    door closest to δs2t.
+        let dist = baselines::door_distances(graph, &ps);
+        let Some((door_idx, &door_dist)) = dist
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_finite())
+            .min_by(|(_, a), (_, b)| {
+                let da = (*a - cfg.delta_s2t).abs();
+                let db = (*b - cfg.delta_s2t).abs();
+                da.partial_cmp(&db).expect("finite distances")
+            })
+        else {
+            continue;
+        };
+        if (door_dist - cfg.delta_s2t).abs() > cfg.tolerance * cfg.delta_s2t {
+            continue;
+        }
+        let door = DoorId::from_index(door_idx);
+
+        // 3. Expand through that door: sample points in its enterable
+        //    partitions and keep the one whose exact indoor distance best
+        //    approaches δs2t.
+        let mut best: Option<(IndoorPoint, f64)> = None;
+        for &v in space.d2p_enterable(door) {
+            if space.partition(v).polygon.is_none() {
+                continue;
+            }
+            for _ in 0..12 {
+                let pt = IndoorPoint::new(v, random_point_in(space, v, &mut rng));
+                // Exact temporal-oblivious distance to pt: best entry door.
+                let d_pt = space
+                    .p2d_enterable(v)
+                    .iter()
+                    .filter_map(|&d| {
+                        let to_door = dist[d.index()];
+                        let leg = space.point_to_door(&pt, d)?;
+                        to_door.is_finite().then_some(to_door + leg)
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                if !d_pt.is_finite() {
+                    continue;
+                }
+                let gap = (d_pt - cfg.delta_s2t).abs();
+                if best.as_ref().is_none_or(|(_, bd)| gap < (bd - cfg.delta_s2t).abs()) {
+                    best = Some((pt, d_pt));
+                }
+            }
+        }
+        let Some((pt, realised)) = best else { continue };
+        if (realised - cfg.delta_s2t).abs() > cfg.tolerance * cfg.delta_s2t {
+            continue;
+        }
+        if pt.partition == ps.partition {
+            continue;
+        }
+        out.push(GeneratedQuery {
+            query: Query::new(ps, pt, cfg.time),
+            realised_distance: realised,
+        });
+    }
+    out
+}
+
+fn random_point_in(
+    space: &indoor_space::IndoorSpace,
+    v: PartitionId,
+    rng: &mut StdRng,
+) -> Point {
+    let poly = space
+        .partition(v)
+        .polygon
+        .as_ref()
+        .expect("candidate partitions carry polygons");
+    let (min, max) = poly.bounding_box();
+    // Rejection sampling; generated partitions are rectangles, so the first
+    // draw almost always lands inside.
+    for _ in 0..64 {
+        let p = Point::new(
+            rng.random_range(min.x..=max.x),
+            rng.random_range(min.y..=max.y),
+        );
+        if poly.contains(p) {
+            return p;
+        }
+    }
+    poly.centroid()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_mall, HoursConfig, MallConfig, ShopHours};
+
+    fn mall_graph() -> ItGraph {
+        let hours = ShopHours::sample(&HoursConfig::default());
+        ItGraph::new(build_mall(&MallConfig::single_floor(), &hours))
+    }
+
+    #[test]
+    fn generates_requested_count_within_tolerance() {
+        let graph = mall_graph();
+        let cfg = QueryGenConfig::default().with_delta(1500.0).with_count(5);
+        let queries = generate_queries(&graph, &cfg);
+        assert_eq!(queries.len(), 5);
+        for gq in &queries {
+            let gap = (gq.realised_distance - 1500.0).abs();
+            assert!(gap <= 150.0, "realised {} too far from 1500", gq.realised_distance);
+            assert_eq!(gq.query.time, TimeOfDay::hm(12, 0));
+            assert_ne!(gq.query.source.partition, gq.query.target.partition);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let graph = mall_graph();
+        let cfg = QueryGenConfig::default().with_count(3);
+        let a = generate_queries(&graph, &cfg);
+        let b = generate_queries(&graph, &cfg);
+        assert_eq!(a, b);
+        let c = generate_queries(&graph, &cfg.with_seed(7));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn distances_sweep_like_the_paper() {
+        let graph = mall_graph();
+        for delta in [1100.0, 1300.0, 1500.0, 1700.0, 1900.0] {
+            let cfg = QueryGenConfig::default().with_delta(delta).with_count(2);
+            let queries = generate_queries(&graph, &cfg);
+            assert_eq!(queries.len(), 2, "δ = {delta}");
+            for gq in &queries {
+                assert!((gq.realised_distance - delta).abs() <= 0.1 * delta);
+            }
+        }
+    }
+
+    #[test]
+    fn sources_and_targets_are_inside_their_partitions() {
+        let graph = mall_graph();
+        let queries = generate_queries(&graph, &QueryGenConfig::default().with_count(3));
+        for gq in &queries {
+            for p in [gq.query.source, gq.query.target] {
+                let poly = graph.space().partition(p.partition).polygon.as_ref().unwrap();
+                assert!(poly.contains(p.position));
+            }
+        }
+    }
+}

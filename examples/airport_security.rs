@@ -1,0 +1,138 @@
+//! Airport routing with one-way security doors and gate closing times.
+//!
+//! Exercises the two features that make indoor topology *directed* and
+//! *time-dependent*: security lanes are one-way doors (landside → airside
+//! only), a private baggage-handling corridor is a forbidden shortcut
+//! (rule 2), and gates close at their boarding end times (rule 1).
+//!
+//! Run with: `cargo run --example airport_security`
+
+use itspq_repro::geom::Point;
+use itspq_repro::prelude::*;
+use itspq_repro::space::Connection;
+
+fn main() {
+    let mut b = VenueBuilder::new();
+    let landside = b.add_partition("landside hall", PartitionKind::Public);
+    let security = b.add_partition("security lanes", PartitionKind::Public);
+    let baggage = b.add_partition("baggage handling", PartitionKind::Private);
+    let airside = b.add_partition("airside concourse", PartitionKind::Public);
+    let gate_a = b.add_partition("gate A", PartitionKind::Public);
+    let gate_b = b.add_partition("gate B", PartitionKind::Public);
+
+    // Security lane: one-way landside -> lanes -> airside, open 4:00-22:00.
+    let lane_hours = AtiList::hm(&[((4, 0), (22, 0))]);
+    let lane_in = b.add_door(
+        "security-in",
+        DoorKind::Public,
+        lane_hours.clone(),
+        Point::new(50.0, 0.0),
+    );
+    b.connect(lane_in, Connection::OneWay { from: landside, to: security })
+        .unwrap();
+    let lane_out = b.add_door("security-out", DoorKind::Public, lane_hours, Point::new(70.0, 0.0));
+    b.connect(lane_out, Connection::OneWay { from: security, to: airside })
+        .unwrap();
+
+    // Baggage handling: a *much* shorter private corridor between landside
+    // and airside. Staff only — rule 2 must keep passengers out.
+    let bag_in = b.add_door(
+        "baggage-in",
+        DoorKind::Private,
+        AtiList::always_open(),
+        Point::new(30.0, -20.0),
+    );
+    b.connect(bag_in, Connection::TwoWay(landside, baggage)).unwrap();
+    let bag_out = b.add_door(
+        "baggage-out",
+        DoorKind::Private,
+        AtiList::always_open(),
+        Point::new(40.0, -20.0),
+    );
+    b.connect(bag_out, Connection::TwoWay(baggage, airside)).unwrap();
+
+    // Exit corridor: one-way airside -> landside, always open.
+    let exit = b.add_door("exit", DoorKind::Public, AtiList::always_open(), Point::new(60.0, 30.0));
+    b.connect(exit, Connection::OneWay { from: airside, to: landside }).unwrap();
+
+    // Gates: close at boarding end.
+    let ga = b.add_door(
+        "gateA",
+        DoorKind::Public,
+        AtiList::hm(&[((6, 0), (9, 30))]),
+        Point::new(100.0, 10.0),
+    );
+    b.connect(ga, Connection::TwoWay(airside, gate_a)).unwrap();
+    let gb = b.add_door(
+        "gateB",
+        DoorKind::Public,
+        AtiList::hm(&[((6, 0), (18, 15))]),
+        Point::new(100.0, -10.0),
+    );
+    b.connect(gb, Connection::TwoWay(airside, gate_b)).unwrap();
+
+    let space = b.build().unwrap();
+    println!("airport: {}\n", space.stats());
+    let graph = ItGraph::new(space);
+    let engine = SynEngine::new(graph.clone(), ItspqConfig::default());
+
+    let kerb = IndoorPoint::new(landside, Point::new(0.0, 0.0));
+    let seat_a = IndoorPoint::new(gate_a, Point::new(104.0, 10.0));
+    let seat_b = IndoorPoint::new(gate_b, Point::new(104.0, -10.0));
+
+    // Rule 1 at work: the walk to gate A takes ~2 minutes; asking close to
+    // the 9:30 boarding end flips the answer to "no such routes".
+    println!("kerb -> gate A (boarding ends 9:30; the walk takes ~2 min):");
+    for (h, m) in [(7, 0), (9, 26), (9, 29)] {
+        let q = Query::new(kerb, seat_a, TimeOfDay::hm(h, m));
+        match engine.query(&q).path {
+            Some(p) => println!(
+                "  {:>5}  {} ({:.0} m, arrive {})",
+                q.time,
+                p.format_with(graph.space()),
+                p.length,
+                p.arrival
+            ),
+            None => println!(
+                "  {:>5}  no such routes — the gate closes before you reach it",
+                q.time
+            ),
+        }
+    }
+
+    // Rule 2 at work: the baggage corridor would be ~60 m shorter but is
+    // private; the path must queue through security.
+    let q = Query::new(kerb, seat_b, TimeOfDay::hm(12, 0));
+    let p = engine.query(&q).path.expect("security lanes are open");
+    println!(
+        "\nkerb -> gate B at 12:00: {} ({:.0} m)",
+        p.format_with(graph.space()),
+        p.length
+    );
+    assert!(
+        p.doors().all(|d| d != bag_in && d != bag_out),
+        "the private baggage corridor must never be traversed"
+    );
+
+    // Directionality: from airside back to landside the path must use the
+    // exit corridor, never the security lane in reverse.
+    println!("\ngate B -> kerb (deplaning at 12:00):");
+    let q = Query::new(seat_b, kerb, TimeOfDay::hm(12, 0));
+    let p = engine.query(&q).path.expect("exit corridor is open");
+    println!("  {}", p.format_with(graph.space()));
+    assert!(
+        p.doors().all(|d| d != lane_in && d != lane_out),
+        "one-way security doors must not be crossed in reverse"
+    );
+
+    // Endpoints inside private partitions are exempt from rule 2: a handler
+    // standing in baggage handling is reachable (through a private door).
+    let handler = IndoorPoint::new(baggage, Point::new(35.0, -22.0));
+    let q = Query::new(kerb, handler, TimeOfDay::hm(12, 0));
+    let p = engine.query(&q).path.expect("endpoint inside a private zone is allowed");
+    println!(
+        "\nkerb -> baggage handler: {} ({:.0} m)",
+        p.format_with(graph.space()),
+        p.length
+    );
+}

@@ -1,0 +1,120 @@
+//! Hospital navigation with visiting hours — the paper's motivating example
+//! ("doors leading to patient wards in a hospital may only open during
+//! visiting hours").
+//!
+//! A visitor at the entrance wants to reach a patient in Ward 2. Ward doors
+//! open 10:00–12:00 and 14:00–19:00; the staff corridor is private and the
+//! pharmacy closes at 18:00. We ask the same query across the day and also
+//! demonstrate the waiting extension (arrive early, wait at the ward door).
+//!
+//! Run with: `cargo run --example hospital_navigation`
+
+use itspq_repro::core::waiting::{earliest_arrival, WaitPolicy};
+use itspq_repro::geom::Point;
+use itspq_repro::prelude::*;
+use itspq_repro::space::Connection;
+
+fn build_hospital() -> (IndoorSpace, IndoorPoint, IndoorPoint) {
+    let mut b = VenueBuilder::new();
+    let lobby = b.add_partition("lobby", PartitionKind::Public);
+    let corridor = b.add_partition("corridor", PartitionKind::Public);
+    let staff = b.add_partition("staff corridor", PartitionKind::Private);
+    let ward1 = b.add_partition("ward 1", PartitionKind::Public);
+    let ward2 = b.add_partition("ward 2", PartitionKind::Public);
+    let pharmacy = b.add_partition("pharmacy", PartitionKind::Public);
+
+    let visiting = AtiList::hm(&[((10, 0), (12, 0)), ((14, 0), (19, 0))]);
+    let always = AtiList::always_open();
+
+    let main = b.add_door("main", DoorKind::Public, always.clone(), Point::new(0.0, 0.0));
+    b.connect(main, Connection::TwoWay(lobby, corridor)).unwrap();
+
+    let w1 = b.add_door("ward1", DoorKind::Public, visiting.clone(), Point::new(20.0, 5.0));
+    b.connect(w1, Connection::TwoWay(corridor, ward1)).unwrap();
+
+    let w2 = b.add_door("ward2", DoorKind::Public, visiting, Point::new(40.0, 5.0));
+    b.connect(w2, Connection::TwoWay(corridor, ward2)).unwrap();
+
+    // Staff corridor: a shortcut between the wards, private.
+    let s1 = b.add_door(
+        "staff1",
+        DoorKind::Private,
+        always.clone(),
+        Point::new(22.0, 10.0),
+    );
+    b.connect(s1, Connection::TwoWay(ward1, staff)).unwrap();
+    let s2 = b.add_door("staff2", DoorKind::Private, always.clone(), Point::new(38.0, 10.0));
+    b.connect(s2, Connection::TwoWay(staff, ward2)).unwrap();
+
+    let ph = b.add_door(
+        "pharmacy",
+        DoorKind::Public,
+        AtiList::hm(&[((8, 0), (18, 0))]),
+        Point::new(10.0, -5.0),
+    );
+    b.connect(ph, Connection::TwoWay(corridor, pharmacy)).unwrap();
+
+    let space = b.build().unwrap();
+    let visitor = IndoorPoint::new(lobby, Point::new(-5.0, 0.0));
+    let patient = IndoorPoint::new(ward2, Point::new(42.0, 8.0));
+    (space, visitor, patient)
+}
+
+fn main() {
+    let (space, visitor, patient) = build_hospital();
+    println!("hospital: {}\n", space.stats());
+    let graph = ItGraph::new(space);
+    let engine = SynEngine::new(graph.clone(), ItspqConfig::default());
+
+    println!("visitor -> ward 2 across the day (no waiting, paper semantics):");
+    for hour in [8, 10, 13, 15, 19] {
+        let q = Query::new(visitor, patient, TimeOfDay::hm(hour, 0));
+        match engine.query(&q).path {
+            Some(p) => println!(
+                "  {:>5}  {}  ({:.1} m, arrive {})",
+                q.time,
+                p.format_with(graph.space()),
+                p.length,
+                p.arrival
+            ),
+            None => println!("  {:>5}  no such routes (ward doors closed)", q.time),
+        }
+    }
+
+    // The staff shortcut is never used even when it would be shorter: rule 2.
+    let ward1_pt = IndoorPoint::new(graph.space().partitions()[3].id, Point::new(22.0, 8.0));
+    let q = Query::new(ward1_pt, patient, TimeOfDay::hm(15, 0));
+    let p = engine.query(&q).path.unwrap();
+    println!(
+        "\nward 1 -> ward 2 at 15:00 goes around, not through the staff \
+         corridor: {}",
+        p.format_with(graph.space())
+    );
+
+    // Waiting extension: arriving at 9:30, a visitor may wait at the ward
+    // door until visiting hours start at 10:00.
+    let q = Query::new(visitor, patient, TimeOfDay::hm(9, 30));
+    assert!(engine.query(&q).path.is_none());
+    let timed = earliest_arrival(
+        &graph,
+        &q,
+        &ItspqConfig::default(),
+        WaitPolicy::Unlimited,
+    )
+    .expect("waiting makes the ward reachable");
+    println!(
+        "\n9:30 with waiting: arrive {} after waiting {} (walk {:.1} m)",
+        timed.arrival,
+        timed.total_wait,
+        timed.walking_distance
+    );
+    for hop in &timed.hops {
+        println!(
+            "   door {:>9} reached {} crossed {} (waited {})",
+            graph.space().door(hop.door).name,
+            hop.reached,
+            hop.crossed,
+            hop.waited
+        );
+    }
+}

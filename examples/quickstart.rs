@@ -1,0 +1,86 @@
+//! Quickstart: build a small venue by hand, ask for temporal-aware shortest
+//! paths, and inspect the answers.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use itspq_repro::prelude::*;
+use itspq_repro::space::Connection;
+
+fn main() {
+    // A minimal office floor: two rooms joined by a hallway, plus a private
+    // archive reachable only from the hallway during office hours.
+    //
+    //   [room A] --a-- [hallway] --b-- [room B]
+    //                     |
+    //                     c (9:00-17:00)
+    //                 [archive]  (private)
+    let mut b = VenueBuilder::new();
+    let room_a = b.add_partition("room A", PartitionKind::Public);
+    let hallway = b.add_partition("hallway", PartitionKind::Public);
+    let room_b = b.add_partition("room B", PartitionKind::Public);
+    let archive = b.add_partition("archive", PartitionKind::Private);
+
+    let door_a = b.add_door(
+        "a",
+        DoorKind::Public,
+        AtiList::hm(&[((7, 0), (20, 0))]),
+        itspq_repro::geom::Point::new(0.0, 0.0),
+    );
+    let door_b = b.add_door(
+        "b",
+        DoorKind::Public,
+        AtiList::hm(&[((7, 0), (20, 0))]),
+        itspq_repro::geom::Point::new(10.0, 0.0),
+    );
+    let door_c = b.add_door(
+        "c",
+        DoorKind::Private,
+        AtiList::hm(&[((9, 0), (17, 0))]),
+        itspq_repro::geom::Point::new(5.0, -4.0),
+    );
+    b.connect(door_a, Connection::TwoWay(room_a, hallway)).unwrap();
+    b.connect(door_b, Connection::TwoWay(hallway, room_b)).unwrap();
+    b.connect(door_c, Connection::TwoWay(hallway, archive)).unwrap();
+    let space = b.build().unwrap();
+    println!("venue: {}", space.stats());
+
+    // Wrap the venue in the paper's IT-Graph and build the ITG/S engine.
+    let graph = ItGraph::new(space);
+    let engine = SynEngine::new(graph.clone(), ItspqConfig::default());
+
+    // Query 1: room A -> room B at 10:00 — straightforward.
+    let ps = IndoorPoint::new(room_a, itspq_repro::geom::Point::new(-3.0, 0.0));
+    let pt = IndoorPoint::new(room_b, itspq_repro::geom::Point::new(13.0, 0.0));
+    let q = Query::new(ps, pt, TimeOfDay::hm(10, 0));
+    let result = engine.query(&q);
+    let path = result.path.expect("open at 10:00");
+    println!(
+        "10:00  {}  length {:.1} m, duration {}, stats: {}",
+        path.format_with(graph.space()),
+        path.length,
+        path.duration(),
+        result.stats
+    );
+
+    // Query 2: into the private archive — legal because pt lies there.
+    let arch_pt = IndoorPoint::new(archive, itspq_repro::geom::Point::new(5.0, -6.0));
+    let q = Query::new(ps, arch_pt, TimeOfDay::hm(10, 0));
+    println!(
+        "10:00 -> archive: {:?}",
+        engine.query(&q).path.map(|p| p.format_with(graph.space()))
+    );
+
+    // Query 3: the archive door is closed at 18:00 — no route.
+    let q = Query::new(ps, arch_pt, TimeOfDay::hm(18, 0));
+    println!("18:00 -> archive: {:?}", engine.query(&q).path.map(|p| p.length));
+
+    // ITG/A gives the same answers via reduced time-dependent graphs.
+    let asyn = AsynEngine::new(graph.clone(), ItspqConfig::default());
+    let q = Query::new(ps, pt, TimeOfDay::hm(10, 0));
+    let a = asyn.query(&q);
+    println!(
+        "ITG/A agrees: {} (cached views: {})",
+        a.path.map(|p| p.length).unwrap_or(f64::NAN),
+        asyn.cached_views()
+    );
+}

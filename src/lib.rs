@@ -1,0 +1,39 @@
+//! # itspq-repro
+//!
+//! Umbrella crate of the ITSPQ reproduction — *Shortest Path Queries for
+//! Indoor Venues with Temporal Variations* (Liu et al., ICDE 2020).
+//!
+//! It re-exports the workspace crates so that examples and downstream users
+//! can depend on a single crate:
+//!
+//! * [`time`] — times of day, ATIs, checkpoints, walking speed;
+//! * [`geom`] — 2-D geometry and rectilinear decomposition;
+//! * [`space`] — the indoor-space model (partitions, doors, topology,
+//!   distance matrices) and the paper's running example;
+//! * [`core`] — the IT-Graph and the ITSPQ query engines (ITG/S, ITG/A),
+//!   baselines and extensions;
+//! * [`synthetic`] — the paper's synthetic workload (mall floorplans, ATI
+//!   generation, query instances).
+//!
+//! See `examples/quickstart.rs` for a guided tour.
+
+pub use indoor_geom as geom;
+pub use indoor_space as space;
+pub use indoor_synthetic as synthetic;
+pub use indoor_time as time;
+pub use itspq_core as core;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use indoor_space::{
+        DoorId, DoorKind, IndoorPoint, IndoorSpace, PartitionId, PartitionKind, VenueBuilder,
+    };
+    pub use indoor_time::{
+        AtiList, CheckpointSet, DurationSecs, Interval, TimeOfDay, Timestamp, Velocity,
+        WALKING_SPEED,
+    };
+    pub use itspq_core::{
+        AsynEngine, AsynMode, DoorHop, ExpandPolicy, ItGraph, ItspqConfig, Path, Query,
+        QueryOutcome, SearchStats, SynEngine,
+    };
+}
