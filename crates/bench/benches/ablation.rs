@@ -32,10 +32,18 @@ fn bench_expand_policy(c: &mut Criterion) {
         ItspqConfig::default().with_expand(ExpandPolicy::FullRelax),
     );
     g.bench_function("expand/paper-pruned", |b| {
-        b.iter(|| qs.iter().for_each(|q| { let _ = black_box(pruned.query(black_box(q))); }));
+        b.iter(|| {
+            qs.iter().for_each(|q| {
+                let _ = black_box(pruned.query(black_box(q)));
+            })
+        });
     });
     g.bench_function("expand/full-relax", |b| {
-        b.iter(|| qs.iter().for_each(|q| { let _ = black_box(full.query(black_box(q))); }));
+        b.iter(|| {
+            qs.iter().for_each(|q| {
+                let _ = black_box(full.query(black_box(q)));
+            })
+        });
     });
     g.finish();
 }
@@ -58,10 +66,18 @@ fn bench_asyn_modes(c: &mut Criterion) {
         let _ = exact.query(q);
     }
     g.bench_function("asyn/faithful", |b| {
-        b.iter(|| qs.iter().for_each(|q| { let _ = black_box(faithful.query(black_box(q))); }));
+        b.iter(|| {
+            qs.iter().for_each(|q| {
+                let _ = black_box(faithful.query(black_box(q)));
+            })
+        });
     });
     g.bench_function("asyn/exact", |b| {
-        b.iter(|| qs.iter().for_each(|q| { let _ = black_box(exact.query(black_box(q))); }));
+        b.iter(|| {
+            qs.iter().for_each(|q| {
+                let _ = black_box(exact.query(black_box(q)));
+            })
+        });
     });
     g.finish();
 }
@@ -80,10 +96,18 @@ fn bench_cache_warmth(c: &mut Criterion) {
         ItspqConfig::default().with_cache_views(false),
     );
     g.bench_function("itg-a/warm-cache", |b| {
-        b.iter(|| qs.iter().for_each(|q| { let _ = black_box(warm.query(black_box(q))); }));
+        b.iter(|| {
+            qs.iter().for_each(|q| {
+                let _ = black_box(warm.query(black_box(q)));
+            })
+        });
     });
     g.bench_function("itg-a/cold-graph-update", |b| {
-        b.iter(|| qs.iter().for_each(|q| { let _ = black_box(cold.query(black_box(q))); }));
+        b.iter(|| {
+            qs.iter().for_each(|q| {
+                let _ = black_box(cold.query(black_box(q)));
+            })
+        });
     });
     g.finish();
 }
@@ -98,19 +122,31 @@ fn bench_baselines(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(1200));
     let syn = SynEngine::new(w.graph.clone(), cfg);
     g.bench_function("baseline/itg-s", |b| {
-        b.iter(|| qs.iter().for_each(|q| { let _ = black_box(syn.query(black_box(q))); }));
+        b.iter(|| {
+            qs.iter().for_each(|q| {
+                let _ = black_box(syn.query(black_box(q)));
+            })
+        });
     });
     g.bench_function("baseline/static", |b| {
         b.iter(|| {
             qs.iter().for_each(|q| {
-                let _ = black_box(baselines::static_shortest_path(&w.graph, black_box(q), &cfg));
+                let _ = black_box(baselines::static_shortest_path(
+                    &w.graph,
+                    black_box(q),
+                    &cfg,
+                ));
             });
         });
     });
     g.bench_function("baseline/snapshot", |b| {
         b.iter(|| {
             qs.iter().for_each(|q| {
-                let _ = black_box(baselines::snapshot_shortest_path(&w.graph, black_box(q), &cfg));
+                let _ = black_box(baselines::snapshot_shortest_path(
+                    &w.graph,
+                    black_box(q),
+                    &cfg,
+                ));
             });
         });
     });

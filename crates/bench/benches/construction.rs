@@ -33,7 +33,10 @@ fn bench_graph_update(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_millis(1200));
     // Graph_Update at a busy instant (noon) and a quiet one (3:00).
-    for (label, t) in [("noon", TimeOfDay::hm(12, 0)), ("night", TimeOfDay::hm(3, 0))] {
+    for (label, t) in [
+        ("noon", TimeOfDay::hm(12, 0)),
+        ("night", TimeOfDay::hm(3, 0)),
+    ] {
         g.bench_with_input(BenchmarkId::new("graph_update", label), &t, |b, t| {
             b.iter(|| ReducedGraph::build(black_box(graph.space()), *t));
         });

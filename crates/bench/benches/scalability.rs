@@ -17,21 +17,23 @@ fn bench_floor_scaling(c: &mut Criterion) {
     for floors in [1u16, 3, 5, 7, 9] {
         let space = build_mall(&MallConfig::paper_default().with_floors(floors), &hours);
         let graph = ItGraph::new(space);
-        let queries: Vec<_> = indoor_synthetic::generate_queries(
-            &graph,
-            &QueryGenConfig::default().with_count(2),
-        )
-        .into_iter()
-        .map(|gq| gq.query)
-        .collect();
+        let queries: Vec<_> =
+            indoor_synthetic::generate_queries(&graph, &QueryGenConfig::default().with_count(2))
+                .into_iter()
+                .map(|gq| gq.query)
+                .collect();
         let syn = SynEngine::new(graph.clone(), ItspqConfig::default());
-        g.bench_with_input(BenchmarkId::new("itg-s/floors", floors), &queries, |b, qs| {
-            b.iter(|| {
-                qs.iter().for_each(|q| {
-                    let _ = black_box(syn.query(black_box(q)));
+        g.bench_with_input(
+            BenchmarkId::new("itg-s/floors", floors),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    qs.iter().for_each(|q| {
+                        let _ = black_box(syn.query(black_box(q)));
+                    });
                 });
-            });
-        });
+            },
+        );
     }
     g.finish();
 }

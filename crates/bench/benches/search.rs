@@ -31,12 +31,24 @@ fn bench_t_set(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(format!("fig4/ITG-S/t={hour}"), t_size),
                 &queries,
-                |b, qs| b.iter(|| qs.iter().for_each(|q| { let _ = black_box(syn.query(black_box(q))); })),
+                |b, qs| {
+                    b.iter(|| {
+                        qs.iter().for_each(|q| {
+                            let _ = black_box(syn.query(black_box(q)));
+                        })
+                    })
+                },
             );
             g.bench_with_input(
                 BenchmarkId::new(format!("fig4/ITG-A/t={hour}"), t_size),
                 &queries,
-                |b, qs| b.iter(|| qs.iter().for_each(|q| { let _ = black_box(asyn.query(black_box(q))); })),
+                |b, qs| {
+                    b.iter(|| {
+                        qs.iter().for_each(|q| {
+                            let _ = black_box(asyn.query(black_box(q)));
+                        })
+                    })
+                },
             );
         }
     }
@@ -57,12 +69,24 @@ fn bench_s2t(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("fig5/ITG-S", delta as u64),
             &queries,
-            |b, qs| b.iter(|| qs.iter().for_each(|q| { let _ = black_box(syn.query(black_box(q))); })),
+            |b, qs| {
+                b.iter(|| {
+                    qs.iter().for_each(|q| {
+                        let _ = black_box(syn.query(black_box(q)));
+                    })
+                })
+            },
         );
         g.bench_with_input(
             BenchmarkId::new("fig5/ITG-A", delta as u64),
             &queries,
-            |b, qs| b.iter(|| qs.iter().for_each(|q| { let _ = black_box(asyn.query(black_box(q))); })),
+            |b, qs| {
+                b.iter(|| {
+                    qs.iter().for_each(|q| {
+                        let _ = black_box(asyn.query(black_box(q)));
+                    })
+                })
+            },
         );
     }
     g.finish();
@@ -81,10 +105,18 @@ fn bench_query_time(c: &mut Criterion) {
             let _ = asyn.query(q);
         }
         g.bench_with_input(BenchmarkId::new("fig6/ITG-S", hour), &queries, |b, qs| {
-            b.iter(|| qs.iter().for_each(|q| { let _ = black_box(syn.query(black_box(q))); }));
+            b.iter(|| {
+                qs.iter().for_each(|q| {
+                    let _ = black_box(syn.query(black_box(q)));
+                })
+            });
         });
         g.bench_with_input(BenchmarkId::new("fig6/ITG-A", hour), &queries, |b, qs| {
-            b.iter(|| qs.iter().for_each(|q| { let _ = black_box(asyn.query(black_box(q))); }));
+            b.iter(|| {
+                qs.iter().for_each(|q| {
+                    let _ = black_box(asyn.query(black_box(q)));
+                })
+            });
         });
     }
     g.finish();

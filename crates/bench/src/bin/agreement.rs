@@ -77,10 +77,7 @@ fn main() {
         let pruned = SynEngine::new(graph.clone(), cfg_pruned).query(&q).path;
         let full = SynEngine::new(graph.clone(), cfg_full).query(&q).path;
         let faithful = AsynEngine::new(graph.clone(), cfg_pruned).query(&q).path;
-        let _exact = AsynEngine::new(
-            graph.clone(),
-            cfg_pruned.with_asyn_mode(AsynMode::Exact),
-        );
+        let _exact = AsynEngine::new(graph.clone(), cfg_pruned.with_asyn_mode(AsynMode::Exact));
         let oracle = baselines::exhaustive_shortest(&graph, &q, &cfg_full, 10);
 
         if oracle.is_some() {
@@ -110,12 +107,36 @@ fn main() {
         }
     }
 
-    println!("agreement statistics over {} random (venue, query, time) cases", t.cases);
-    println!("  feasible per oracle:                        {:>5}", t.feasible);
-    println!("  PaperPruned longer than FullRelax:          {:>5}", t.pruned_longer);
-    println!("  PaperPruned missed a FullRelax path:        {:>5}", t.pruned_missed);
-    println!("  ITG/A(Faithful) missed an ITG/S path:       {:>5}", t.faithful_missed);
-    println!("  ITG/A(Faithful) returned an invalid path:   {:>5}", t.faithful_invalid);
-    println!("  engine missed an oracle path (non-FIFO):    {:>5}", t.engine_missed_vs_oracle);
-    println!("  engine longer than oracle (non-FIFO):       {:>5}", t.engine_longer_vs_oracle);
+    println!(
+        "agreement statistics over {} random (venue, query, time) cases",
+        t.cases
+    );
+    println!(
+        "  feasible per oracle:                        {:>5}",
+        t.feasible
+    );
+    println!(
+        "  PaperPruned longer than FullRelax:          {:>5}",
+        t.pruned_longer
+    );
+    println!(
+        "  PaperPruned missed a FullRelax path:        {:>5}",
+        t.pruned_missed
+    );
+    println!(
+        "  ITG/A(Faithful) missed an ITG/S path:       {:>5}",
+        t.faithful_missed
+    );
+    println!(
+        "  ITG/A(Faithful) returned an invalid path:   {:>5}",
+        t.faithful_invalid
+    );
+    println!(
+        "  engine missed an oracle path (non-FIFO):    {:>5}",
+        t.engine_missed_vs_oracle
+    );
+    println!(
+        "  engine longer than oracle (non-FIFO):       {:>5}",
+        t.engine_longer_vs_oracle
+    );
 }

@@ -16,11 +16,19 @@ static ALLOC: TrackingAllocator = TrackingAllocator;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let selectors: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--quick").collect();
+    let selectors: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| *a != "--quick")
+        .collect();
     let all = selectors.is_empty();
     let wants = |k: &str| all || selectors.contains(&k);
 
-    let params = if quick { PaperParams::smoke() } else { PaperParams::default() };
+    let params = if quick {
+        PaperParams::smoke()
+    } else {
+        PaperParams::default()
+    };
     let results = Path::new("results");
 
     if wants("table1") {

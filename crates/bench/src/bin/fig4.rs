@@ -7,9 +7,15 @@ static ALLOC: TrackingAllocator = TrackingAllocator;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let params = if quick { PaperParams::smoke() } else { PaperParams::default() };
+    let params = if quick {
+        PaperParams::smoke()
+    } else {
+        PaperParams::default()
+    };
     let fig = figures::fig4(&params);
     print!("{}", fig.table());
-    let path = fig.write_csv(std::path::Path::new("results")).expect("write csv");
+    let path = fig
+        .write_csv(std::path::Path::new("results"))
+        .expect("write csv");
     println!("wrote {}", path.display());
 }

@@ -147,9 +147,18 @@ fn parse_point(space: &IndoorSpace, s: &str) -> Result<IndoorPoint, String> {
 }
 
 fn generate(flags: &HashMap<String, String>) -> Result<(), String> {
-    let floors: u16 = flags.get("floors").map_or(Ok(5), |v| v.parse()).map_err(|_| "bad --floors")?;
-    let t_size: usize = flags.get("t-size").map_or(Ok(8), |v| v.parse()).map_err(|_| "bad --t-size")?;
-    let seed: u64 = flags.get("seed").map_or(Ok(0x5EED), |v| v.parse()).map_err(|_| "bad --seed")?;
+    let floors: u16 = flags
+        .get("floors")
+        .map_or(Ok(5), |v| v.parse())
+        .map_err(|_| "bad --floors")?;
+    let t_size: usize = flags
+        .get("t-size")
+        .map_or(Ok(8), |v| v.parse())
+        .map_err(|_| "bad --t-size")?;
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(Ok(0x5EED), |v| v.parse())
+        .map_err(|_| "bad --seed")?;
     let out = flags.get("out").ok_or("missing --out")?;
     let hours = ShopHours::sample(&HoursConfig::default().with_t_size(t_size).with_seed(seed));
     let space = build_mall(&MallConfig::paper_default().with_floors(floors), &hours);
@@ -170,7 +179,10 @@ fn stats(positional: &[String]) -> Result<(), String> {
 
 fn audit_cmd(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
     let space = load_space(positional)?;
-    let origin: u32 = flags.get("origin").map_or(Ok(0), |v| v.parse()).map_err(|_| "bad --origin")?;
+    let origin: u32 = flags
+        .get("origin")
+        .map_or(Ok(0), |v| v.parse())
+        .map_err(|_| "bad --origin")?;
     if origin as usize >= space.num_partitions() {
         return Err(format!("partition v{origin} does not exist"));
     }
@@ -205,14 +217,22 @@ fn query_cmd(positional: &[String], flags: &HashMap<String, String>) -> Result<(
         return Ok(());
     }
 
-    let k: usize = flags.get("k").map_or(Ok(1), |v| v.parse()).map_err(|_| "bad --k")?;
+    let k: usize = flags
+        .get("k")
+        .map_or(Ok(1), |v| v.parse())
+        .map_err(|_| "bad --k")?;
     if k > 1 {
         let paths = k_shortest_paths(&graph, &q, &ItspqConfig::full_relax(), k);
         if paths.is_empty() {
             println!("no such routes");
         }
         for (i, p) in paths.iter().enumerate() {
-            println!("#{}: {:.1} m  {}", i + 1, p.length, p.format_with(graph.space()));
+            println!(
+                "#{}: {:.1} m  {}",
+                i + 1,
+                p.length,
+                p.format_with(graph.space())
+            );
         }
         return Ok(());
     }
@@ -223,7 +243,12 @@ fn query_cmd(positional: &[String], flags: &HashMap<String, String>) -> Result<(
     };
     match result.path {
         Some(p) => {
-            println!("{} ({:.1} m, arrive {})", p.format_with(graph.space()), p.length, p.arrival);
+            println!(
+                "{} ({:.1} m, arrive {})",
+                p.format_with(graph.space()),
+                p.length,
+                p.arrival
+            );
             for hop in &p.hops {
                 println!(
                     "  {:>7.1} m  {}  at {}",
@@ -246,7 +271,10 @@ fn profile_cmd(positional: &[String], flags: &HashMap<String, String>) -> Result
     let window = flags.get("window").ok_or("missing --window")?;
     let (a, b) = window.split_once('-').ok_or("bad --window (H:MM-H:MM)")?;
     let (wa, wb) = (parse_time(a)?, parse_time(b)?);
-    let step: f64 = flags.get("step").map_or(Ok(60.0), |v| v.parse()).map_err(|_| "bad --step")?;
+    let step: f64 = flags
+        .get("step")
+        .map_or(Ok(60.0), |v| v.parse())
+        .map_err(|_| "bad --step")?;
     let graph = ItGraph::new(space);
     let profile = departure_profile(
         &graph,
@@ -264,7 +292,11 @@ fn profile_cmd(positional: &[String], flags: &HashMap<String, String>) -> Result
         }
     }
     if let Some(best) = profile.best() {
-        println!("best departure: {} ({:.1} m)", best.departure, best.length.unwrap_or(f64::NAN));
+        println!(
+            "best departure: {} ({:.1} m)",
+            best.departure,
+            best.length.unwrap_or(f64::NAN)
+        );
     }
     Ok(())
 }

@@ -51,7 +51,11 @@ impl Figure {
         for row in &self.rows {
             let _ = write!(out, "{:>10}", row.x);
             for (_, m) in &row.series {
-                let v = if self.unit == "KB" { m.mean_mem_kb } else { m.mean_time_us };
+                let v = if self.unit == "KB" {
+                    m.mean_mem_kb
+                } else {
+                    m.mean_time_us
+                };
                 let _ = write!(out, " {v:>14.1}");
             }
             out.push('\n');
@@ -113,15 +117,17 @@ fn both_methods(
 /// avoid cross-talk.
 #[must_use]
 pub fn fig4(params: &PaperParams) -> Figure {
-    let workloads: Vec<Workload> = crossbeam::thread::scope(|scope| {
+    let workloads: Vec<Workload> = std::thread::scope(|scope| {
         let handles: Vec<_> = params
             .t_sizes
             .iter()
-            .map(|&t| scope.spawn(move |_| Workload::paper(t)))
+            .map(|&t| scope.spawn(move || Workload::paper(t)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("venue build")).collect()
-    })
-    .expect("scoped venue builds");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("venue build"))
+            .collect()
+    });
 
     let mut rows = Vec::new();
     for w in &workloads {
@@ -133,7 +139,10 @@ pub fn fig4(params: &PaperParams) -> Figure {
                 series.push((format!("{}(t={})", m.label(), probe.hour()), meas));
             }
         }
-        rows.push(FigRow { x: t_size.to_string(), series });
+        rows.push(FigRow {
+            x: t_size.to_string(),
+            series,
+        });
     }
     Figure {
         id: "fig4",
@@ -155,7 +164,10 @@ pub fn fig5(params: &PaperParams) -> Figure {
             .into_iter()
             .map(|(m, meas)| (m.label().to_owned(), meas))
             .collect();
-        rows.push(FigRow { x: format!("{delta:.0}"), series });
+        rows.push(FigRow {
+            x: format!("{delta:.0}"),
+            series,
+        });
     }
     Figure {
         id: "fig5",
@@ -177,7 +189,10 @@ fn time_sweep(params: &PaperParams) -> Vec<FigRow> {
                 .into_iter()
                 .map(|(m, meas)| (m.label().to_owned(), meas))
                 .collect();
-            FigRow { x: t.to_string(), series }
+            FigRow {
+                x: t.to_string(),
+                series,
+            }
         })
         .collect()
 }
@@ -236,7 +251,10 @@ mod tests {
             title: "test",
             x_name: "x",
             unit: "us",
-            rows: vec![FigRow { x: "600".into(), series }],
+            rows: vec![FigRow {
+                x: "600".into(),
+                series,
+            }],
         };
         let table = fig.table();
         assert!(table.contains("ITG/S"));

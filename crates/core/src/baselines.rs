@@ -57,7 +57,9 @@ impl TvChecker for SnapshotChecker<'_> {
 /// Shortest path ignoring temporal variations entirely.
 #[must_use]
 pub fn static_shortest_path(graph: &ItGraph, query: &Query, config: &ItspqConfig) -> QueryResult {
-    let mut checker = StaticChecker { space: graph.space() };
+    let mut checker = StaticChecker {
+        space: graph.space(),
+    };
     let (path, stats) = run_search(graph, query, config, &mut checker);
     QueryResult { path, stats }
 }
@@ -65,12 +67,11 @@ pub fn static_shortest_path(graph: &ItGraph, query: &Query, config: &ItspqConfig
 /// Shortest path on the topology frozen at the query time (doors keep their
 /// state at `t` for the whole walk).
 #[must_use]
-pub fn snapshot_shortest_path(
-    graph: &ItGraph,
-    query: &Query,
-    config: &ItspqConfig,
-) -> QueryResult {
-    let mut checker = SnapshotChecker { space: graph.space(), t: query.time };
+pub fn snapshot_shortest_path(graph: &ItGraph, query: &Query, config: &ItspqConfig) -> QueryResult {
+    let mut checker = SnapshotChecker {
+        space: graph.space(),
+        t: query.time,
+    };
     let (path, stats) = run_search(graph, query, config, &mut checker);
     QueryResult { path, stats }
 }
@@ -333,8 +334,8 @@ mod tests {
         assert!((dist[ex.d(15).index()] - 3.0).abs() < 1e-9);
         assert!((dist[ex.d(18).index()] - 1.0).abs() < 1e-9);
         // d16 is NOT reachable via private v15; it must go around through v14.
-        let via_v14 = dist[ex.d(18).index()]
-            + ex.space.door_to_door(ex.v(14), ex.d(18), ex.d(16)).unwrap();
+        let via_v14 =
+            dist[ex.d(18).index()] + ex.space.door_to_door(ex.v(14), ex.d(18), ex.d(16)).unwrap();
         assert!((dist[ex.d(16).index()] - via_v14).abs() < 1e-9);
         // All doors reachable in the example.
         assert!(dist.iter().all(|d| d.is_finite()));

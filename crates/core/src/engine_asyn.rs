@@ -109,11 +109,7 @@ impl AsynEngine {
             engine: self,
             velocity: self.config.velocity,
             t0,
-            next_instant: self
-                .graph
-                .space()
-                .checkpoints()
-                .next_instant(t0),
+            next_instant: self.graph.space().checkpoints().next_instant(t0),
             view_bytes: current.heap_bytes(),
             seen_intervals: vec![current.interval_index()],
             current,
@@ -198,12 +194,7 @@ impl TvChecker for AsynChecker<'_> {
                 }
                 // Crossing: Graph_Update(tarr, T), then return false.
                 let view = self.engine.view_for(tarr.time_of_day(), stats);
-                self.next_instant = self
-                    .engine
-                    .graph
-                    .space()
-                    .checkpoints()
-                    .next_instant(tarr);
+                self.next_instant = self.engine.graph.space().checkpoints().next_instant(tarr);
                 self.account_view(&view);
                 self.current = view;
                 stats.graph_updates += 1;
@@ -299,8 +290,10 @@ mod tests {
         let ex = paper_example::build();
         let graph = ItGraph::new(ex.space.clone());
         let syn = crate::SynEngine::new(graph.clone(), ItspqConfig::default());
-        let asyn_exact =
-            AsynEngine::new(graph, ItspqConfig::default().with_asyn_mode(AsynMode::Exact));
+        let asyn_exact = AsynEngine::new(
+            graph,
+            ItspqConfig::default().with_asyn_mode(AsynMode::Exact),
+        );
         for (h, m) in [(15, 55), (15, 59), (22, 58), (5, 58)] {
             let q = Query::new(ex.p1, ex.p2, TimeOfDay::hm(h, m));
             let a = syn.query(&q);

@@ -112,7 +112,8 @@ mod tests {
     #[test]
     fn same_partition_query_is_direct() {
         let (ex, eng) = engine();
-        let other = indoor_space::IndoorPoint::new(ex.p3.partition, indoor_geom::Point::new(3.0, 4.0));
+        let other =
+            indoor_space::IndoorPoint::new(ex.p3.partition, indoor_geom::Point::new(3.0, 4.0));
         let res = eng.query(&Query::new(ex.p3, other, TimeOfDay::hm(3, 0)));
         let path = res.path.unwrap();
         assert!(path.hops.is_empty());

@@ -133,7 +133,9 @@ pub(crate) fn run_search<C: TvChecker>(
     // Source expansion: Algorithm 1 with di = ps, v = P(ps).
     st.visited_parts[src_p.index()] = true;
     stats.partitions_expanded += 1;
-    expand_partition(space, config, query, checker, &mut st, &mut stats, src_p, None, 0.0, &allowed);
+    expand_partition(
+        space, config, query, checker, &mut st, &mut stats, src_p, None, 0.0, &allowed,
+    );
 
     while let Some(entry) = st.heap.pop() {
         stats.heap_pops += 1;
@@ -202,8 +204,16 @@ pub(crate) fn run_search<C: TvChecker>(
             }
             stats.partitions_expanded += 1;
             expand_partition(
-                space, config, query, checker, &mut st, &mut stats, v,
-                Some(di), d_di, &allowed,
+                space,
+                config,
+                query,
+                checker,
+                &mut st,
+                &mut stats,
+                v,
+                Some(di),
+                d_di,
+                &allowed,
             );
         }
     }
@@ -295,7 +305,10 @@ fn reconstruct(
     let mut cur = st.target_prev.expect("target popped ⇒ predecessor set");
     loop {
         doors_rev.push(cur);
-        match st.prev[cur as usize].expect("relaxed doors have predecessors").from {
+        match st.prev[cur as usize]
+            .expect("relaxed doors have predecessors")
+            .from
+        {
             Some(p) => cur = p,
             None => break,
         }

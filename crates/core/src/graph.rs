@@ -35,7 +35,9 @@ impl ItGraph {
     /// Builds the IT-Graph over a venue.
     #[must_use]
     pub fn new(space: IndoorSpace) -> Self {
-        ItGraph { space: Arc::new(space) }
+        ItGraph {
+            space: Arc::new(space),
+        }
     }
 
     /// Builds the IT-Graph over an already shared venue.
@@ -79,13 +81,16 @@ impl ItGraph {
     pub fn edges(&self) -> impl Iterator<Item = ItEdge> + '_ {
         (0..self.space.num_doors()).flat_map(move |i| {
             let door = DoorId::from_index(i);
-            self.space.d2p_leaveable(door).iter().flat_map(move |&from| {
-                self.space
-                    .d2p_enterable(door)
-                    .iter()
-                    .filter(move |&&to| to != from)
-                    .map(move |&to| ItEdge { from, to, door })
-            })
+            self.space
+                .d2p_leaveable(door)
+                .iter()
+                .flat_map(move |&from| {
+                    self.space
+                        .d2p_enterable(door)
+                        .iter()
+                        .filter(move |&&to| to != from)
+                        .map(move |&to| ItEdge { from, to, door })
+                })
         })
     }
 
@@ -127,7 +132,11 @@ mod tests {
         let d3_edges: Vec<ItEdge> = g.edges().filter(|e| e.door == ex.d(3)).collect();
         assert_eq!(
             d3_edges,
-            vec![ItEdge { from: ex.v(3), to: ex.v(16), door: ex.d(3) }]
+            vec![ItEdge {
+                from: ex.v(3),
+                to: ex.v(16),
+                door: ex.d(3)
+            }]
         );
         let d1_edges: Vec<ItEdge> = g.edges().filter(|e| e.door == ex.d(1)).collect();
         assert_eq!(d1_edges.len(), 2);

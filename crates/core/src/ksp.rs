@@ -20,7 +20,12 @@ use crate::{DoorHop, ItGraph, ItspqConfig, Path, Query};
 /// regardless of [`crate::ExpandPolicy`] (alternatives need the complete
 /// search space).
 #[must_use]
-pub fn k_shortest_paths(graph: &ItGraph, query: &Query, config: &ItspqConfig, k: usize) -> Vec<Path> {
+pub fn k_shortest_paths(
+    graph: &ItGraph,
+    query: &Query,
+    config: &ItspqConfig,
+    k: usize,
+) -> Vec<Path> {
     if k == 0 {
         return Vec::new();
     }
@@ -125,8 +130,9 @@ fn spur_search(
     let dst_p = query.target.partition;
     let n = space.num_doors();
 
-    let allowed =
-        |v: PartitionId| -> bool { v == src_p || v == dst_p || space.partition(v).kind.traversable() };
+    let allowed = |v: PartitionId| -> bool {
+        v == src_p || v == dst_p || space.partition(v).kind.traversable()
+    };
 
     let mut dist = vec![f64::INFINITY; n];
     let mut prev: Vec<Option<(PartitionId, Option<u32>)>> = vec![None; n];
@@ -136,45 +142,55 @@ fn spur_search(
     // `link`: the door whose DM row supplies leg weights (the fixed entry door
     // during seeding, the settled door afterwards); `from_idx`: the
     // predecessor recorded for reconstruction (None ends the spur's chain).
-    let relax =
-        |v: PartitionId,
-         link: Option<DoorId>,
-         from_idx: Option<u32>,
-         base: f64,
-         settled: &[bool],
-         dist: &mut Vec<f64>,
-         prev: &mut Vec<Option<(PartitionId, Option<u32>)>>,
-         heap: &mut MinHeap| {
-            for &dj in space.p2d_leaveable(v) {
-                if banned[dj.index()] || settled[dj.index()] || Some(dj) == link {
-                    continue;
-                }
-                let weight = match link {
-                    Some(l) => space.door_to_door(v, l, dj),
-                    None => space.point_to_door(&query.source, dj),
-                };
-                let Some(weight) = weight else { continue };
-                let cand = base + weight;
-                let tarr = t0 + config.velocity.travel_time(cand);
-                if !space.door(dj).atis.is_open_at(tarr) {
-                    continue;
-                }
-                if cand < dist[dj.index()] {
-                    dist[dj.index()] = cand;
-                    prev[dj.index()] = Some((v, from_idx));
-                    heap.push(cand, Node::Door(dj.index() as u32));
-                }
+    let relax = |v: PartitionId,
+                 link: Option<DoorId>,
+                 from_idx: Option<u32>,
+                 base: f64,
+                 settled: &[bool],
+                 dist: &mut Vec<f64>,
+                 prev: &mut Vec<Option<(PartitionId, Option<u32>)>>,
+                 heap: &mut MinHeap| {
+        for &dj in space.p2d_leaveable(v) {
+            if banned[dj.index()] || settled[dj.index()] || Some(dj) == link {
+                continue;
             }
-        };
+            let weight = match link {
+                Some(l) => space.door_to_door(v, l, dj),
+                None => space.point_to_door(&query.source, dj),
+            };
+            let Some(weight) = weight else { continue };
+            let cand = base + weight;
+            let tarr = t0 + config.velocity.travel_time(cand);
+            if !space.door(dj).atis.is_open_at(tarr) {
+                continue;
+            }
+            if cand < dist[dj.index()] {
+                dist[dj.index()] = cand;
+                prev[dj.index()] = Some((v, from_idx));
+                heap.push(cand, Node::Door(dj.index() as u32));
+            }
+        }
+    };
 
     // Seed the search.
     match entry {
-        None => relax(src_p, None, None, 0.0, &settled, &mut dist, &mut prev, &mut heap),
+        None => relax(
+            src_p, None, None, 0.0, &settled, &mut dist, &mut prev, &mut heap,
+        ),
         Some((e, root_side)) => {
             for vi in 0..space.d2p_enterable(e).len() {
                 let v = space.d2p_enterable(e)[vi];
                 if v != root_side && allowed(v) {
-                    relax(v, Some(e), None, base_dist, &settled, &mut dist, &mut prev, &mut heap);
+                    relax(
+                        v,
+                        Some(e),
+                        None,
+                        base_dist,
+                        &settled,
+                        &mut dist,
+                        &mut prev,
+                        &mut heap,
+                    );
                 }
             }
             // Direct finish: the entry door may already bound the target.
@@ -222,7 +238,16 @@ fn spur_search(
             if Some(v) == came_from || !allowed(v) {
                 continue;
             }
-            relax(v, Some(door), Some(di), d_di, &settled, &mut dist, &mut prev, &mut heap);
+            relax(
+                v,
+                Some(door),
+                Some(di),
+                d_di,
+                &settled,
+                &mut dist,
+                &mut prev,
+                &mut heap,
+            );
         }
     }
 
@@ -297,7 +322,11 @@ mod tests {
         // v4-v8-v17-v14-v13 exists too.
         let q = Query::new(ex.p1, ex.p2, TimeOfDay::hm(12, 0));
         let paths = k_shortest_paths(&g, &q, &cfg, 4);
-        assert!(paths.len() >= 3, "expected several alternatives, got {}", paths.len());
+        assert!(
+            paths.len() >= 3,
+            "expected several alternatives, got {}",
+            paths.len()
+        );
         for w in paths.windows(2) {
             assert!(w[0].length <= w[1].length + 1e-9, "paths must be sorted");
         }
@@ -338,7 +367,8 @@ mod tests {
     fn same_partition_returns_single_direct_path() {
         let (ex, g) = setup();
         let cfg = ItspqConfig::default();
-        let other = indoor_space::IndoorPoint::new(ex.p3.partition, indoor_geom::Point::new(3.0, 4.0));
+        let other =
+            indoor_space::IndoorPoint::new(ex.p3.partition, indoor_geom::Point::new(3.0, 4.0));
         let q = Query::new(ex.p3, other, TimeOfDay::hm(12, 0));
         let paths = k_shortest_paths(&g, &q, &cfg, 5);
         assert_eq!(paths.len(), 1);

@@ -49,7 +49,10 @@ impl ReachabilityMap {
     /// Number of partitions currently reachable.
     #[must_use]
     pub fn reachable_partitions(&self) -> usize {
-        self.partition_distance.iter().filter(|d| d.is_finite()).count()
+        self.partition_distance
+            .iter()
+            .filter(|d| d.is_finite())
+            .count()
     }
 }
 
@@ -71,9 +74,8 @@ pub fn reachability(
     let mut settled = vec![false; n];
     let mut heap = MinHeap::new();
 
-    let traversable = |v: PartitionId| -> bool {
-        v == source.partition || space.partition(v).kind.traversable()
-    };
+    let traversable =
+        |v: PartitionId| -> bool { v == source.partition || space.partition(v).kind.traversable() };
 
     {
         let v = source.partition;
@@ -108,7 +110,9 @@ pub fn reachability(
                 if dj.index() as u32 == di || settled[dj.index()] {
                     continue;
                 }
-                let Some(w) = space.door_to_door(v, door, dj) else { continue };
+                let Some(w) = space.door_to_door(v, door, dj) else {
+                    continue;
+                };
                 let cand = base + w;
                 let tarr = t0 + config.velocity.travel_time(cand);
                 if !space.door(dj).atis.is_open_at(tarr) {
@@ -214,8 +218,8 @@ mod tests {
         // … but the sweep never goes through it: d16's only access from p3's
         // side is via v14 (through d18), which is longer than via v15 would
         // have been.
-        let via_v14 = map.to_door(ex.d(18))
-            + ex.space.door_to_door(ex.v(14), ex.d(18), ex.d(16)).unwrap();
+        let via_v14 =
+            map.to_door(ex.d(18)) + ex.space.door_to_door(ex.v(14), ex.d(18), ex.d(16)).unwrap();
         assert!((map.to_door(ex.d(16)) - via_v14).abs() < 1e-9);
     }
 }

@@ -80,7 +80,10 @@ pub fn departure_profile(
     let engine = SynEngine::new(graph.clone(), *config);
     let probe = |t: TimeOfDay| -> ProfilePoint {
         let res = engine.query(&Query::new(source, target, t));
-        ProfilePoint { departure: t, length: res.path.map(|p| p.length) }
+        ProfilePoint {
+            departure: t,
+            length: res.path.map(|p| p.length),
+        }
     };
 
     // Seed with window edges + interior checkpoints.
@@ -145,8 +148,14 @@ mod tests {
         assert_eq!(runs.len(), 1);
         let (_, last_ok) = runs[0];
         let boundary = profile.points[last_ok].departure;
-        assert!(boundary >= TimeOfDay::hm(22, 58), "boundary {boundary} too early");
-        assert!(boundary <= TimeOfDay::hm(23, 0), "boundary {boundary} too late");
+        assert!(
+            boundary >= TimeOfDay::hm(22, 58),
+            "boundary {boundary} too early"
+        );
+        assert!(
+            boundary <= TimeOfDay::hm(23, 0),
+            "boundary {boundary} too late"
+        );
     }
 
     #[test]
@@ -166,8 +175,14 @@ mod tests {
         for w in profile.points.windows(2) {
             assert!(w[0].departure < w[1].departure);
         }
-        assert_eq!(profile.points.first().unwrap().departure, TimeOfDay::hm(6, 0));
-        assert_eq!(profile.points.last().unwrap().departure, TimeOfDay::hm(10, 0));
+        assert_eq!(
+            profile.points.first().unwrap().departure,
+            TimeOfDay::hm(6, 0)
+        );
+        assert_eq!(
+            profile.points.last().unwrap().departure,
+            TimeOfDay::hm(10, 0)
+        );
     }
 
     #[test]

@@ -21,7 +21,11 @@ impl Query {
     /// Creates a query.
     #[must_use]
     pub fn new(source: IndoorPoint, target: IndoorPoint, time: TimeOfDay) -> Self {
-        Query { source, target, time }
+        Query {
+            source,
+            target,
+            time,
+        }
     }
 
     /// The departure instant on the timeline.
@@ -165,7 +169,10 @@ mod tests {
             stats: SearchStats::default(),
         };
         assert_eq!(found.outcome(), QueryOutcome::Found);
-        let missing = QueryResult { path: None, stats: SearchStats::default() };
+        let missing = QueryResult {
+            path: None,
+            stats: SearchStats::default(),
+        };
         assert_eq!(missing.outcome(), QueryOutcome::NoRoute);
     }
 

@@ -140,9 +140,7 @@ mod tests {
         let view = ReducedGraph::build(&ex.space, TimeOfDay::hm(5, 30));
         assert_eq!(view.checkpoint(), TimeOfDay::hm(5, 0));
         assert_eq!(view.next_checkpoint(), Some(TimeOfDay::hm(6, 0)));
-        let open: Vec<u32> = (1..=21)
-            .filter(|&n| view.is_open(ex.d(n)))
-            .collect();
+        let open: Vec<u32> = (1..=21).filter(|&n| view.is_open(ex.d(n))).collect();
         assert_eq!(open, vec![1, 9, 11, 12, 13, 14, 17, 18, 20]);
         assert_eq!(view.open_door_count(), 9);
     }

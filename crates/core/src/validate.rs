@@ -55,7 +55,10 @@ impl std::fmt::Display for PathViolation {
                 write!(f, "path traverses private partition {partition}")
             }
             PathViolation::LengthMismatch { expected, recorded } => {
-                write!(f, "length mismatch: expected {expected}, recorded {recorded}")
+                write!(
+                    f,
+                    "length mismatch: expected {expected}, recorded {recorded}"
+                )
             }
             PathViolation::ForeignDoor { hop } => {
                 write!(f, "hop {hop} crosses a door foreign to its partition")
@@ -94,7 +97,10 @@ pub fn validate_path(
             return Err(PathViolation::Disconnected { hop: 0 });
         }
         if (expected - path.length).abs() > TOL {
-            return Err(PathViolation::LengthMismatch { expected, recorded: path.length });
+            return Err(PathViolation::LengthMismatch {
+                expected,
+                recorded: path.length,
+            });
         }
         return Ok(());
     }
@@ -149,7 +155,10 @@ pub fn validate_path(
         // Rule 1: the door must be open at the arrival instant.
         let arrival = t0 + velocity.travel_time(cumulative);
         if !space.door(hop.door).atis.is_open_at(arrival) {
-            return Err(PathViolation::DoorClosed { door: hop.door, arrival });
+            return Err(PathViolation::DoorClosed {
+                door: hop.door,
+                arrival,
+            });
         }
 
         prev_door = Some(hop.door);
@@ -158,10 +167,14 @@ pub fn validate_path(
     // Final leg into the target partition.
     let last = prev_door.expect("non-empty hop list");
     if !space.d2p_enterable(last).contains(&dst.partition) {
-        return Err(PathViolation::Disconnected { hop: path.hops.len() });
+        return Err(PathViolation::Disconnected {
+            hop: path.hops.len(),
+        });
     }
     let Some(leg) = space.point_to_door(&dst, last) else {
-        return Err(PathViolation::ForeignDoor { hop: path.hops.len() });
+        return Err(PathViolation::ForeignDoor {
+            hop: path.hops.len(),
+        });
     };
     cumulative += leg;
     if (cumulative - path.length).abs() > TOL {
@@ -203,8 +216,8 @@ mod tests {
         let path = eng.query(&q).path.unwrap();
         // Re-validating the 9:00 path as if departing at 23:30 must fail:
         // d18 is closed then.
-        let err = validate_path(&ex.space, &path, TimeOfDay::hm(23, 30), WALKING_SPEED)
-            .unwrap_err();
+        let err =
+            validate_path(&ex.space, &path, TimeOfDay::hm(23, 30), WALKING_SPEED).unwrap_err();
         assert!(matches!(err, PathViolation::DoorClosed { door, .. } if door == ex.d(18)));
     }
 
@@ -239,7 +252,12 @@ mod tests {
             arrival: t0 + WALKING_SPEED.travel_time(length),
         };
         let err = validate_path(&ex.space, &path, TimeOfDay::hm(9, 0), WALKING_SPEED).unwrap_err();
-        assert_eq!(err, PathViolation::PrivateTraversal { partition: ex.v(15) });
+        assert_eq!(
+            err,
+            PathViolation::PrivateTraversal {
+                partition: ex.v(15)
+            }
+        );
     }
 
     #[test]
@@ -282,7 +300,10 @@ mod tests {
             arrival: t0 + WALKING_SPEED.travel_time(5.0),
         };
         validate_path(&ex.space, &direct, TimeOfDay::hm(12, 0), WALKING_SPEED).unwrap();
-        let wrong = Path { target: ex.p4, ..direct };
+        let wrong = Path {
+            target: ex.p4,
+            ..direct
+        };
         assert!(validate_path(&ex.space, &wrong, TimeOfDay::hm(12, 0), WALKING_SPEED).is_err());
     }
 }

@@ -116,19 +116,20 @@ pub fn earliest_arrival(
     let mut prev: Vec<Option<PrevHop>> = vec![None; n];
     let mut heap = MinHeap::new();
 
-    let allowed =
-        |v: PartitionId| -> bool { v == src.partition || v == dst.partition || space.partition(v).kind.traversable() };
+    let allowed = |v: PartitionId| -> bool {
+        v == src.partition || v == dst.partition || space.partition(v).kind.traversable()
+    };
     // Horizon: at most one full day beyond departure.
     let horizon = t0.seconds() + indoor_time::SECONDS_PER_DAY;
 
     let try_relax = |dj: DoorId,
-                         from: Option<u32>,
-                         via: PartitionId,
-                         leg: f64,
-                         depart_instant: Timestamp,
-                         best: &mut Vec<f64>,
-                         prev: &mut Vec<Option<PrevHop>>,
-                         heap: &mut MinHeap| {
+                     from: Option<u32>,
+                     via: PartitionId,
+                     leg: f64,
+                     depart_instant: Timestamp,
+                     best: &mut Vec<f64>,
+                     prev: &mut Vec<Option<PrevHop>>,
+                     heap: &mut MinHeap| {
         let reached = depart_instant + config.velocity.travel_time(leg);
         let Some(crossed) = space.door(dj).atis.next_open_at(reached) else {
             return;
@@ -139,14 +140,30 @@ pub fn earliest_arrival(
         }
         if crossed.seconds() < best[dj.index()] {
             best[dj.index()] = crossed.seconds();
-            prev[dj.index()] = Some(PrevHop { from, via, leg, reached, waited, crossed });
+            prev[dj.index()] = Some(PrevHop {
+                from,
+                via,
+                leg,
+                reached,
+                waited,
+                crossed,
+            });
             heap.push(crossed.seconds(), Node::Door(dj.index() as u32));
         }
     };
 
     for &dj in space.p2d_leaveable(src.partition) {
         if let Some(leg) = space.point_to_door(&src, dj) {
-            try_relax(dj, None, src.partition, leg, t0, &mut best, &mut prev, &mut heap);
+            try_relax(
+                dj,
+                None,
+                src.partition,
+                leg,
+                t0,
+                &mut best,
+                &mut prev,
+                &mut heap,
+            );
         }
     }
 
@@ -185,7 +202,16 @@ pub fn earliest_arrival(
                     continue;
                 }
                 if let Some(leg) = space.door_to_door(v, door, dj) {
-                    try_relax(dj, Some(di), v, leg, crossed, &mut best, &mut prev, &mut heap);
+                    try_relax(
+                        dj,
+                        Some(di),
+                        v,
+                        leg,
+                        crossed,
+                        &mut best,
+                        &mut prev,
+                        &mut heap,
+                    );
                 }
             }
         }
@@ -197,7 +223,10 @@ pub fn earliest_arrival(
     let mut cur = last;
     loop {
         rev.push(cur);
-        match prev[cur as usize].expect("settled doors have predecessors").from {
+        match prev[cur as usize]
+            .expect("settled doors have predecessors")
+            .from
+        {
             Some(p) => cur = p,
             None => break,
         }

@@ -50,7 +50,10 @@ pub fn decompose_rectilinear(poly: &Polygon) -> Result<Vec<Rect>, GeomError> {
         }
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
 
-        debug_assert!(xs.len().is_multiple_of(2), "odd crossing count in simple rectilinear polygon");
+        debug_assert!(
+            xs.len().is_multiple_of(2),
+            "odd crossing count in simple rectilinear polygon"
+        );
         for pair in xs.chunks_exact(2) {
             if pair[1] - pair[0] > EPS {
                 rects.push(

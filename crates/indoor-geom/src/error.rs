@@ -53,6 +53,8 @@ mod tests {
         };
         assert!(e.to_string().contains("degenerate"));
         assert!(GeomError::TooFewVertices(2).to_string().contains('2'));
-        assert!(GeomError::NotRectilinear.to_string().contains("rectilinear"));
+        assert!(GeomError::NotRectilinear
+            .to_string()
+            .contains("rectilinear"));
     }
 }

@@ -146,7 +146,10 @@ mod tests {
         let d = geodesic_distance(&l, a, b).unwrap();
         let via_corner = a.distance(Point::new(5.0, 5.0)) + Point::new(5.0, 5.0).distance(b);
         assert!(d > direct + 0.1, "must exceed the blocked straight line");
-        assert!((d - via_corner).abs() < 1e-9, "bends exactly at the reflex corner");
+        assert!(
+            (d - via_corner).abs() < 1e-9,
+            "bends exactly at the reflex corner"
+        );
     }
 
     #[test]
@@ -201,9 +204,21 @@ mod tests {
     #[test]
     fn segment_inside_basics() {
         let l = l_shape();
-        assert!(segment_inside(&l, Point::new(1.0, 1.0), Point::new(9.0, 1.0)));
-        assert!(!segment_inside(&l, Point::new(2.5, 9.0), Point::new(9.0, 2.5)));
+        assert!(segment_inside(
+            &l,
+            Point::new(1.0, 1.0),
+            Point::new(9.0, 1.0)
+        ));
+        assert!(!segment_inside(
+            &l,
+            Point::new(2.5, 9.0),
+            Point::new(9.0, 2.5)
+        ));
         // Degenerate segment.
-        assert!(segment_inside(&l, Point::new(1.0, 1.0), Point::new(1.0, 1.0)));
+        assert!(segment_inside(
+            &l,
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 1.0)
+        ));
     }
 }

@@ -81,10 +81,7 @@ impl Polygon {
             // Boundary check: p on segment ab.
             let ab = b - a;
             let ap = p - a;
-            if ab.cross(ap).abs() <= EPS
-                && ap.dot(ab) >= -EPS
-                && (p - b).dot(-ab) >= -EPS
-            {
+            if ab.cross(ap).abs() <= EPS && ap.dot(ab) >= -EPS && (p - b).dot(-ab) >= -EPS {
                 return true;
             }
             // Ray casting to +x.

@@ -68,7 +68,10 @@ mod tests {
         let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
         assert_eq!(s.closest_point(Point::new(5.0, 3.0)), Point::new(5.0, 0.0));
         assert_eq!(s.closest_point(Point::new(-4.0, 3.0)), Point::new(0.0, 0.0));
-        assert_eq!(s.closest_point(Point::new(14.0, 3.0)), Point::new(10.0, 0.0));
+        assert_eq!(
+            s.closest_point(Point::new(14.0, 3.0)),
+            Point::new(10.0, 0.0)
+        );
         assert_eq!(s.distance_to_point(Point::new(5.0, 3.0)), 3.0);
         assert_eq!(s.distance_to_point(Point::new(13.0, 4.0)), 5.0);
     }

@@ -43,7 +43,10 @@ impl fmt::Display for Finding {
                 witness.0, witness.1, witness.2
             ),
             Finding::PublicBehindPrivate(p) => {
-                write!(f, "public partition {p} is only reachable through private space")
+                write!(
+                    f,
+                    "public partition {p} is only reachable through private space"
+                )
             }
             Finding::SealedRoom(p) => {
                 write!(f, "partition {p} has a single door that never opens")
@@ -113,7 +116,10 @@ pub fn audit(space: &IndoorSpace, origin: PartitionId) -> AuditReport {
             findings.push(Finding::SealedRoom(p.id));
         }
         if let Some(witness) = space.distance_matrix(p.id).triangle_violation(1e-6) {
-            findings.push(Finding::TriangleViolation { partition: p.id, witness });
+            findings.push(Finding::TriangleViolation {
+                partition: p.id,
+                witness,
+            });
         }
     }
 
@@ -168,12 +174,22 @@ mod tests {
         let mut b = VenueBuilder::new();
         let a = b.add_partition("a", PartitionKind::Public);
         let island = b.add_partition("island", PartitionKind::Public);
-        let locked = b.add_door("locked", DoorKind::Private, AtiList::never_open(), Point::ORIGIN);
+        let locked = b.add_door(
+            "locked",
+            DoorKind::Private,
+            AtiList::never_open(),
+            Point::ORIGIN,
+        );
         // The island's only door never opens (still a topological link, so it
         // is "reachable" structurally but sealed temporally).
         b.connect(locked, Connection::TwoWay(a, island)).unwrap();
         let far = b.add_partition("far", PartitionKind::Public);
-        let lonely = b.add_door("lonely", DoorKind::Public, AtiList::always_open(), Point::ORIGIN);
+        let lonely = b.add_door(
+            "lonely",
+            DoorKind::Public,
+            AtiList::always_open(),
+            Point::ORIGIN,
+        );
         b.connect(lonely, Connection::Boundary(far)).unwrap();
         let report = audit(&b.build().unwrap(), a);
         assert!(report.findings.contains(&Finding::Unreachable(far)));
@@ -187,14 +203,28 @@ mod tests {
         let lobby = b.add_partition("lobby", PartitionKind::Public);
         let vault = b.add_partition("vault corridor", PartitionKind::Private);
         let office = b.add_partition("office", PartitionKind::Public);
-        let d1 = b.add_door("d1", DoorKind::Private, AtiList::always_open(), Point::ORIGIN);
-        let d2 = b.add_door("d2", DoorKind::Private, AtiList::always_open(), Point::ORIGIN);
+        let d1 = b.add_door(
+            "d1",
+            DoorKind::Private,
+            AtiList::always_open(),
+            Point::ORIGIN,
+        );
+        let d2 = b.add_door(
+            "d2",
+            DoorKind::Private,
+            AtiList::always_open(),
+            Point::ORIGIN,
+        );
         b.connect(d1, Connection::TwoWay(lobby, vault)).unwrap();
         b.connect(d2, Connection::TwoWay(vault, office)).unwrap();
         let report = audit(&b.build().unwrap(), lobby);
-        assert!(report.findings.contains(&Finding::PublicBehindPrivate(office)));
+        assert!(report
+            .findings
+            .contains(&Finding::PublicBehindPrivate(office)));
         // The vault itself is private: reachable, not flagged.
-        assert!(!report.findings.contains(&Finding::PublicBehindPrivate(vault)));
+        assert!(!report
+            .findings
+            .contains(&Finding::PublicBehindPrivate(vault)));
     }
 
     #[test]
@@ -204,7 +234,12 @@ mod tests {
         let (mut sides, mut doors) = (Vec::new(), Vec::new());
         for i in 0..3 {
             let s = b.add_partition(&format!("s{i}"), PartitionKind::Public);
-            let d = b.add_door(&format!("d{i}"), DoorKind::Public, AtiList::always_open(), Point::ORIGIN);
+            let d = b.add_door(
+                &format!("d{i}"),
+                DoorKind::Public,
+                AtiList::always_open(),
+                Point::ORIGIN,
+            );
             b.connect(d, Connection::TwoWay(hub, s)).unwrap();
             sides.push(s);
             doors.push(d);
@@ -226,9 +261,6 @@ mod tests {
         // doors (tested from the synthetic crate side as well).
         let ex = crate::paper_example::build();
         let report = audit(&ex.space, ex.v(3));
-        assert!(
-            report.findings.is_empty(),
-            "unexpected findings: {report}"
-        );
+        assert!(report.findings.is_empty(), "unexpected findings: {report}");
     }
 }

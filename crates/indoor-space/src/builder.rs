@@ -208,7 +208,11 @@ impl VenueBuilder {
         if !dist.is_finite() || dist < 0.0 {
             return Err(SpaceError::InvalidDistance { a, b, value: dist });
         }
-        let key = if a <= b { (partition, a, b) } else { (partition, b, a) };
+        let key = if a <= b {
+            (partition, a, b)
+        } else {
+            (partition, b, a)
+        };
         self.explicit.insert(key, dist);
         Ok(())
     }
@@ -292,7 +296,11 @@ impl VenueBuilder {
             let partition = PartitionId::from_index(pi);
             let polygon = self.partitions[pi].polygon.as_ref();
             let dm = DistanceMatrix::build(doors.clone(), |a, b| {
-                let key = if a <= b { (partition, a, b) } else { (partition, b, a) };
+                let key = if a <= b {
+                    (partition, a, b)
+                } else {
+                    (partition, b, a)
+                };
                 if let Some(&d) = self.explicit.get(&key) {
                     return d;
                 }
@@ -336,13 +344,21 @@ mod tests {
         let mut b = VenueBuilder::new();
         let p0 = b.add_partition("room", PartitionKind::Public);
         let p1 = b.add_partition("hall", PartitionKind::Public);
-        let d = b.add_door("door", DoorKind::Public, AtiList::always_open(), Point::ORIGIN);
+        let d = b.add_door(
+            "door",
+            DoorKind::Public,
+            AtiList::always_open(),
+            Point::ORIGIN,
+        );
         (b, p0, p1, d)
     }
 
     #[test]
     fn empty_venue_rejected() {
-        assert_eq!(VenueBuilder::new().build().unwrap_err(), SpaceError::EmptyVenue);
+        assert_eq!(
+            VenueBuilder::new().build().unwrap_err(),
+            SpaceError::EmptyVenue
+        );
     }
 
     #[test]
@@ -407,16 +423,23 @@ mod tests {
         let p0 = b.add_partition("a", PartitionKind::Public);
         let p1 = b.add_partition("b", PartitionKind::Public);
         let p2 = b.add_partition("c", PartitionKind::Public);
-        let d0 = b.add_door("d0", DoorKind::Public, AtiList::always_open(), Point::ORIGIN);
-        let d1 = b.add_door("d1", DoorKind::Public, AtiList::always_open(), Point::ORIGIN);
+        let d0 = b.add_door(
+            "d0",
+            DoorKind::Public,
+            AtiList::always_open(),
+            Point::ORIGIN,
+        );
+        let d1 = b.add_door(
+            "d1",
+            DoorKind::Public,
+            AtiList::always_open(),
+            Point::ORIGIN,
+        );
         b.connect(d0, Connection::TwoWay(p0, p1)).unwrap();
         b.connect(d1, Connection::TwoWay(p1, p2)).unwrap();
         // d0 is not a door of p2.
         b.set_distance(p2, d0, d1, 3.0).unwrap();
-        assert!(matches!(
-            b.build(),
-            Err(SpaceError::ForeignDoor { .. })
-        ));
+        assert!(matches!(b.build(), Err(SpaceError::ForeignDoor { .. })));
     }
 
     #[test]
@@ -424,8 +447,14 @@ mod tests {
         let mut b = VenueBuilder::new();
         let v3 = b.add_partition("v3", PartitionKind::Public);
         let v16 = b.add_partition("v16", PartitionKind::Public);
-        let d3 = b.add_door("d3", DoorKind::Public, AtiList::always_open(), Point::ORIGIN);
-        b.connect(d3, Connection::OneWay { from: v3, to: v16 }).unwrap();
+        let d3 = b.add_door(
+            "d3",
+            DoorKind::Public,
+            AtiList::always_open(),
+            Point::ORIGIN,
+        );
+        b.connect(d3, Connection::OneWay { from: v3, to: v16 })
+            .unwrap();
         let s = b.build().unwrap();
         // The paper's example: D2P⊳(d3) = v3, D2P⊲(d3) = v16.
         assert_eq!(s.d2p_leaveable(d3), &[v3]);
@@ -441,7 +470,12 @@ mod tests {
     fn boundary_door_has_single_side() {
         let mut b = VenueBuilder::new();
         let p = b.add_partition("lobby", PartitionKind::Public);
-        let d = b.add_door("roof", DoorKind::Private, AtiList::never_open(), Point::ORIGIN);
+        let d = b.add_door(
+            "roof",
+            DoorKind::Private,
+            AtiList::never_open(),
+            Point::ORIGIN,
+        );
         b.connect(d, Connection::Boundary(p)).unwrap();
         let s = b.build().unwrap();
         assert_eq!(s.d2p(d), vec![p]);
@@ -505,7 +539,12 @@ mod tests {
         let p = b.add_partition("stair", PartitionKind::Public);
         let q = b.add_partition("hall0", PartitionKind::Public);
         let r = b.add_partition("hall1", PartitionKind::Public);
-        let lower = b.add_door("lower", DoorKind::Public, AtiList::always_open(), Point::ORIGIN);
+        let lower = b.add_door(
+            "lower",
+            DoorKind::Public,
+            AtiList::always_open(),
+            Point::ORIGIN,
+        );
         let upper = b.add_door(
             "upper",
             DoorKind::Public,

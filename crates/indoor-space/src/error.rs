@@ -75,7 +75,9 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(SpaceError::UnknownDoor(DoorId(4)).to_string().contains("d4"));
+        assert!(SpaceError::UnknownDoor(DoorId(4))
+            .to_string()
+            .contains("d4"));
         assert!(SpaceError::SelfLoop(DoorId(1), PartitionId(2))
             .to_string()
             .contains("itself"));

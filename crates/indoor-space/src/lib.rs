@@ -28,13 +28,13 @@
 
 pub mod audit;
 mod builder;
-pub mod plan_text;
 mod distance_matrix;
 mod door;
 mod error;
 mod ids;
 pub mod paper_example;
 mod partition;
+pub mod plan_text;
 mod point;
 mod stats;
 mod venue;

@@ -63,27 +63,27 @@ impl PaperExample {
 #[must_use]
 pub fn table1_atis() -> Vec<AtiList> {
     vec![
-        AtiList::hm(&[((5, 0), (23, 0))]),                   // d1
-        AtiList::hm(&[((8, 0), (16, 0))]),                   // d2
-        AtiList::hm(&[((6, 0), (23, 0))]),                   // d3
-        AtiList::hm(&[((9, 0), (18, 0))]),                   // d4
-        AtiList::hm(&[((6, 30), (23, 0))]),                  // d5
-        AtiList::hm(&[((8, 0), (16, 0))]),                   // d6
-        AtiList::hm(&[((6, 0), (23, 30))]),                  // d7
-        AtiList::hm(&[((9, 0), (18, 0))]),                   // d8
-        AtiList::hm(&[((0, 0), (6, 0)), ((6, 30), (23, 0))]), // d9
-        AtiList::hm(&[((8, 0), (16, 0))]),                   // d10
-        AtiList::hm(&[((5, 0), (23, 0))]),                   // d11
-        AtiList::hm(&[((5, 0), (23, 0))]),                   // d12
+        AtiList::hm(&[((5, 0), (23, 0))]),                     // d1
+        AtiList::hm(&[((8, 0), (16, 0))]),                     // d2
+        AtiList::hm(&[((6, 0), (23, 0))]),                     // d3
+        AtiList::hm(&[((9, 0), (18, 0))]),                     // d4
+        AtiList::hm(&[((6, 30), (23, 0))]),                    // d5
+        AtiList::hm(&[((8, 0), (16, 0))]),                     // d6
+        AtiList::hm(&[((6, 0), (23, 30))]),                    // d7
+        AtiList::hm(&[((9, 0), (18, 0))]),                     // d8
+        AtiList::hm(&[((0, 0), (6, 0)), ((6, 30), (23, 0))]),  // d9
+        AtiList::hm(&[((8, 0), (16, 0))]),                     // d10
+        AtiList::hm(&[((5, 0), (23, 0))]),                     // d11
+        AtiList::hm(&[((5, 0), (23, 0))]),                     // d12
         AtiList::hm(&[((5, 0), (17, 0)), ((18, 0), (23, 0))]), // d13
-        AtiList::hm(&[((0, 0), (24, 0))]),                   // d14
-        AtiList::hm(&[((8, 0), (16, 0))]),                   // d15
-        AtiList::hm(&[((8, 0), (17, 0))]),                   // d16
-        AtiList::hm(&[((0, 0), (24, 0))]),                   // d17
-        AtiList::hm(&[((0, 0), (23, 0))]),                   // d18
-        AtiList::hm(&[((8, 0), (16, 0))]),                   // d19
-        AtiList::hm(&[((5, 0), (23, 0))]),                   // d20
-        AtiList::hm(&[((8, 0), (16, 0))]),                   // d21
+        AtiList::hm(&[((0, 0), (24, 0))]),                     // d14
+        AtiList::hm(&[((8, 0), (16, 0))]),                     // d15
+        AtiList::hm(&[((8, 0), (17, 0))]),                     // d16
+        AtiList::hm(&[((0, 0), (24, 0))]),                     // d17
+        AtiList::hm(&[((0, 0), (23, 0))]),                     // d18
+        AtiList::hm(&[((8, 0), (16, 0))]),                     // d19
+        AtiList::hm(&[((5, 0), (23, 0))]),                     // d20
+        AtiList::hm(&[((8, 0), (16, 0))]),                     // d21
     ]
 }
 
@@ -149,26 +149,30 @@ pub fn build() -> PaperExample {
     let mut ds = Vec::with_capacity(21);
     for (i, atis) in atis.into_iter().enumerate() {
         // The paper marks d7 as the example private door (Door Table).
-        let kind = if i + 1 == 7 { DoorKind::Private } else { DoorKind::Public };
+        let kind = if i + 1 == 7 {
+            DoorKind::Private
+        } else {
+            DoorKind::Public
+        };
         ds.push(b.add_door(&format!("d{}", i + 1), kind, atis, positions[i]));
     }
     let v = |n: usize| vs[n];
     let d = |n: usize| ds[n - 1];
 
     let two_way: [(usize, usize, usize); 20] = [
-        (1, 1, 3),   // d1: v1 - v3
-        (2, 2, 3),   // d2: v2 - v3
-        (4, 2, 6),   // d4: v2 - v6
-        (5, 3, 4),   // d5: v3 - v4
-        (6, 3, 5),   // d6: v3 - v5
-        (7, 4, 7),   // d7: v4 - v7 (private door into the security zone)
-        (8, 4, 8),   // d8: v4 - v8
-        (9, 8, 17),  // d9: v8 - v17
-        (10, 5, 6),  // d10: v5 - v6
-        (11, 9, 11), // d11: v9 - v11
-        (12, 9, 10), // d12: v9 - v10
+        (1, 1, 3),    // d1: v1 - v3
+        (2, 2, 3),    // d2: v2 - v3
+        (4, 2, 6),    // d4: v2 - v6
+        (5, 3, 4),    // d5: v3 - v4
+        (6, 3, 5),    // d6: v3 - v5
+        (7, 4, 7),    // d7: v4 - v7 (private door into the security zone)
+        (8, 4, 8),    // d8: v4 - v8
+        (9, 8, 17),   // d9: v8 - v17
+        (10, 5, 6),   // d10: v5 - v6
+        (11, 9, 11),  // d11: v9 - v11
+        (12, 9, 10),  // d12: v9 - v10
         (13, 14, 17), // d13: v14 - v17
-        (14, 10, 0), // d14: v10 - v0 (building entrance)
+        (14, 10, 0),  // d14: v10 - v0 (building entrance)
         (15, 13, 15), // d15: v13 - v15
         (16, 15, 14), // d16: v15 - v14
         (17, 12, 16), // d17: v16 - v12
@@ -182,8 +186,14 @@ pub fn build() -> PaperExample {
             .expect("example connections are valid");
     }
     // d3 is directional: usable only from v3 into v16 (Figure 1's arrow).
-    b.connect(d(3), Connection::OneWay { from: v(3), to: v(16) })
-        .expect("example connections are valid");
+    b.connect(
+        d(3),
+        Connection::OneWay {
+            from: v(3),
+            to: v(16),
+        },
+    )
+    .expect("example connections are valid");
 
     // The DM entries the paper states for v16 (Partition Table of Figure 2).
     b.set_distance(v(16), d(3), d(17), 2.0).expect("v16 DM");

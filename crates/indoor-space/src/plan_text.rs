@@ -64,7 +64,10 @@ impl std::fmt::Display for PlanError {
 impl std::error::Error for PlanError {}
 
 fn err(line: usize, message: impl Into<String>) -> PlanError {
-    PlanError { line, message: message.into() }
+    PlanError {
+        line,
+        message: message.into(),
+    }
 }
 
 impl From<SpaceError> for PlanError {
@@ -93,7 +96,9 @@ pub fn parse(text: &str) -> Result<IndoorSpace, PlanError> {
         if head != "partition" {
             continue;
         }
-        let name = words.next().ok_or_else(|| err(line_no, "partition needs a name"))?;
+        let name = words
+            .next()
+            .ok_or_else(|| err(line_no, "partition needs a name"))?;
         if partitions.contains_key(name) {
             return Err(err(line_no, format!("duplicate partition `{name}`")));
         }
@@ -113,7 +118,9 @@ pub fn parse(text: &str) -> Result<IndoorSpace, PlanError> {
         let mut poly_words: &[&str] = &[];
         match rest.first() {
             Some(&"floor") => {
-                let n = rest.get(1).ok_or_else(|| err(line_no, "floor needs a number"))?;
+                let n = rest
+                    .get(1)
+                    .ok_or_else(|| err(line_no, "floor needs a number"))?;
                 floor = FloorId(n.parse().map_err(|_| err(line_no, "bad floor number"))?);
                 if rest.get(2) == Some(&"polygon") {
                     poly_words = &rest[3..];
@@ -162,8 +169,10 @@ pub fn parse(text: &str) -> Result<IndoorSpace, PlanError> {
         match head {
             "partition" => {} // first pass
             "door" => {
-                let name =
-                    words.next().ok_or_else(|| err(line_no, "door needs a name"))?.to_owned();
+                let name = words
+                    .next()
+                    .ok_or_else(|| err(line_no, "door needs a name"))?
+                    .to_owned();
                 if doors.contains_key(&name) {
                     return Err(err(line_no, format!("duplicate door `{name}`")));
                 }
@@ -171,7 +180,10 @@ pub fn parse(text: &str) -> Result<IndoorSpace, PlanError> {
                     Some("public") => DoorKind::Public,
                     Some("private") => DoorKind::Private,
                     other => {
-                        return Err(err(line_no, format!("expected public|private, got {other:?}")))
+                        return Err(err(
+                            line_no,
+                            format!("expected public|private, got {other:?}"),
+                        ))
                     }
                 };
                 // ATIs: tokens until `@`.
@@ -183,13 +195,18 @@ pub fn parse(text: &str) -> Result<IndoorSpace, PlanError> {
                     ati_text.push_str(w);
                 }
                 let atis = parse_atis(&ati_text).map_err(|m| err(line_no, m))?;
-                let pos_word =
-                    words.next().ok_or_else(|| err(line_no, "door needs `@ X,Y` position"))?;
+                let pos_word = words
+                    .next()
+                    .ok_or_else(|| err(line_no, "door needs `@ X,Y` position"))?;
                 let (pos, floor) =
                     parse_position(pos_word).ok_or_else(|| err(line_no, "bad position"))?;
                 // Connection: `A <> B`, `A -> B` or `A |`.
-                let a = words.next().ok_or_else(|| err(line_no, "door needs a connection"))?;
-                let op = words.next().ok_or_else(|| err(line_no, "door needs `<>`, `->` or `|`"))?;
+                let a = words
+                    .next()
+                    .ok_or_else(|| err(line_no, "door needs a connection"))?;
+                let op = words
+                    .next()
+                    .ok_or_else(|| err(line_no, "door needs `<>`, `->` or `|`"))?;
                 fn check(
                     partitions: &HashMap<String, PartitionId>,
                     line_no: usize,
@@ -205,8 +222,9 @@ pub fn parse(text: &str) -> Result<IndoorSpace, PlanError> {
                 let conn = match op {
                     "|" => Connection::Boundary(pa),
                     "<>" | "->" => {
-                        let bb =
-                            words.next().ok_or_else(|| err(line_no, "missing second partition"))?;
+                        let bb = words
+                            .next()
+                            .ok_or_else(|| err(line_no, "missing second partition"))?;
                         check(&partitions, line_no, bb)?;
                         let pb = lookup(&mut b, &mut partitions, bb);
                         if op == "<>" {
@@ -218,13 +236,20 @@ pub fn parse(text: &str) -> Result<IndoorSpace, PlanError> {
                     other => return Err(err(line_no, format!("bad connector `{other}`"))),
                 };
                 let id = b.add_door_on(&name, kind, atis, pos, floor);
-                b.connect(id, conn).map_err(|e| err(line_no, e.to_string()))?;
+                b.connect(id, conn)
+                    .map_err(|e| err(line_no, e.to_string()))?;
                 doors.insert(name, id);
             }
             "distance" => {
-                let p = words.next().ok_or_else(|| err(line_no, "distance needs a partition"))?;
-                let d1 = words.next().ok_or_else(|| err(line_no, "distance needs two doors"))?;
-                let d2 = words.next().ok_or_else(|| err(line_no, "distance needs two doors"))?;
+                let p = words
+                    .next()
+                    .ok_or_else(|| err(line_no, "distance needs a partition"))?;
+                let d1 = words
+                    .next()
+                    .ok_or_else(|| err(line_no, "distance needs two doors"))?;
+                let d2 = words
+                    .next()
+                    .ok_or_else(|| err(line_no, "distance needs two doors"))?;
                 let m: f64 = words
                     .next()
                     .ok_or_else(|| err(line_no, "distance needs metres"))?
@@ -233,9 +258,14 @@ pub fn parse(text: &str) -> Result<IndoorSpace, PlanError> {
                 let pid = *partitions
                     .get(p)
                     .ok_or_else(|| err(line_no, format!("unknown partition `{p}`")))?;
-                let a = *doors.get(d1).ok_or_else(|| err(line_no, format!("unknown door `{d1}`")))?;
-                let bb = *doors.get(d2).ok_or_else(|| err(line_no, format!("unknown door `{d2}`")))?;
-                b.set_distance(pid, a, bb, m).map_err(|e| err(line_no, e.to_string()))?;
+                let a = *doors
+                    .get(d1)
+                    .ok_or_else(|| err(line_no, format!("unknown door `{d1}`")))?;
+                let bb = *doors
+                    .get(d2)
+                    .ok_or_else(|| err(line_no, format!("unknown door `{d2}`")))?;
+                b.set_distance(pid, a, bb, m)
+                    .map_err(|e| err(line_no, e.to_string()))?;
             }
             other => return Err(err(line_no, format!("unknown directive `{other}`"))),
         }
@@ -256,7 +286,12 @@ pub fn to_plan_text(space: &IndoorSpace) -> String {
             PartitionKind::Private => "private",
             PartitionKind::Outdoor => "outdoor",
         };
-        let _ = write!(out, "partition {} {kind} floor {}", sanitize(&p.name), p.floor.0);
+        let _ = write!(
+            out,
+            "partition {} {kind} floor {}",
+            sanitize(&p.name),
+            p.floor.0
+        );
         if let Some(poly) = &p.polygon {
             let _ = write!(out, " polygon");
             for v in poly.vertices() {
@@ -325,7 +360,13 @@ fn sanitize(name: &str) -> String {
     // Names must survive tokenisation: no whitespace, and `#` would start a
     // comment.
     name.chars()
-        .map(|c| if c.is_whitespace() || c == '#' { '_' } else { c })
+        .map(|c| {
+            if c.is_whitespace() || c == '#' {
+                '_'
+            } else {
+                c
+            }
+        })
         .collect()
 }
 
@@ -438,7 +479,11 @@ distance hallway a c 12.5
         assert_eq!(space.d2p_leaveable(e.id).len(), 1);
         assert_eq!(space.d2p_enterable(e.id).len(), 1);
         // Explicit distance override.
-        let hallway = space.partitions().iter().find(|p| p.name == "hallway").unwrap();
+        let hallway = space
+            .partitions()
+            .iter()
+            .find(|p| p.name == "hallway")
+            .unwrap();
         let a = space.doors().iter().find(|d| d.name == "a").unwrap();
         let c = space.doors().iter().find(|d| d.name == "c").unwrap();
         assert_eq!(space.door_to_door(hallway.id, a.id, c.id), Some(12.5));

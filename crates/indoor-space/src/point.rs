@@ -18,7 +18,10 @@ impl IndoorPoint {
     /// Creates an indoor point.
     #[must_use]
     pub fn new(partition: PartitionId, position: Point) -> Self {
-        IndoorPoint { partition, position }
+        IndoorPoint {
+            partition,
+            position,
+        }
     }
 }
 

@@ -104,7 +104,12 @@ mod tests {
         let a = b.add_partition("a", PartitionKind::Public);
         let c = b.add_partition("b", PartitionKind::Private);
         let o = b.add_partition("out", PartitionKind::Outdoor);
-        let d0 = b.add_door("d0", DoorKind::Public, AtiList::always_open(), Point::ORIGIN);
+        let d0 = b.add_door(
+            "d0",
+            DoorKind::Public,
+            AtiList::always_open(),
+            Point::ORIGIN,
+        );
         let d1 = b.add_door(
             "d1",
             DoorKind::Private,

@@ -179,8 +179,7 @@ impl IndoorSpace {
         self.partitions
             .iter()
             .find(|part| {
-                part.floor == floor
-                    && part.polygon.as_ref().is_some_and(|poly| poly.contains(p))
+                part.floor == floor && part.polygon.as_ref().is_some_and(|poly| poly.contains(p))
             })
             .map(|part| part.id)
     }
@@ -246,7 +245,14 @@ mod tests {
             Point::new(6.0, 8.0),
         );
         b.connect(d0, Connection::TwoWay(room, hall)).unwrap();
-        b.connect(d1, Connection::OneWay { from: hall, to: office }).unwrap();
+        b.connect(
+            d1,
+            Connection::OneWay {
+                from: hall,
+                to: office,
+            },
+        )
+        .unwrap();
         (b.build().unwrap(), [room, hall, office], [d0, d1])
     }
 

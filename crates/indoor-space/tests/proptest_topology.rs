@@ -44,7 +44,11 @@ fn build(n_parts: usize, specs: &[ConnSpec]) -> IndoorSpace {
     let mut b = VenueBuilder::new();
     let parts: Vec<PartitionId> = (0..n_parts)
         .map(|i| {
-            let kind = if i % 5 == 4 { PartitionKind::Private } else { PartitionKind::Public };
+            let kind = if i % 5 == 4 {
+                PartitionKind::Private
+            } else {
+                PartitionKind::Public
+            };
             b.add_partition(&format!("p{i}"), kind)
         })
         .collect();
@@ -55,7 +59,11 @@ fn build(n_parts: usize, specs: &[ConnSpec]) -> IndoorSpace {
             2 => AtiList::hm(&[((8, 0), (16, 0))]),
             _ => AtiList::hm(&[((0, 0), (6, 0)), ((9, 30), (22, 0))]),
         };
-        let kind = if spec.private { DoorKind::Private } else { DoorKind::Public };
+        let kind = if spec.private {
+            DoorKind::Private
+        } else {
+            DoorKind::Public
+        };
         let door = b.add_door(
             &format!("d{i}"),
             kind,
@@ -65,7 +73,10 @@ fn build(n_parts: usize, specs: &[ConnSpec]) -> IndoorSpace {
         let conn = if spec.boundary || spec.a == spec.b {
             Connection::Boundary(parts[spec.a])
         } else if spec.one_way {
-            Connection::OneWay { from: parts[spec.a], to: parts[spec.b] }
+            Connection::OneWay {
+                from: parts[spec.a],
+                to: parts[spec.b],
+            }
         } else {
             Connection::TwoWay(parts[spec.a], parts[spec.b])
         };

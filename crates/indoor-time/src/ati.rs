@@ -36,7 +36,9 @@ impl AtiList {
     /// A door that is never open.
     #[must_use]
     pub fn never_open() -> Self {
-        AtiList { intervals: Vec::new() }
+        AtiList {
+            intervals: Vec::new(),
+        }
     }
 
     /// Builds a normalised ATI list from arbitrary intervals: the input is
@@ -193,7 +195,10 @@ mod tests {
         let atis = AtiList::hm(&[((12, 0), (16, 0)), ((8, 0), (12, 0)), ((18, 0), (19, 0))]);
         assert_eq!(
             atis.intervals(),
-            &[Interval::hm((8, 0), (16, 0)), Interval::hm((18, 0), (19, 0))]
+            &[
+                Interval::hm((8, 0), (16, 0)),
+                Interval::hm((18, 0), (19, 0))
+            ]
         );
     }
 
@@ -236,11 +241,23 @@ mod tests {
     #[test]
     fn next_change() {
         let atis = AtiList::hm(&[((8, 0), (16, 0)), ((18, 0), (20, 0))]);
-        assert_eq!(atis.next_change_after(TimeOfDay::hm(7, 0)), Some(TimeOfDay::hm(8, 0)));
-        assert_eq!(atis.next_change_after(TimeOfDay::hm(8, 0)), Some(TimeOfDay::hm(16, 0)));
-        assert_eq!(atis.next_change_after(TimeOfDay::hm(17, 0)), Some(TimeOfDay::hm(18, 0)));
+        assert_eq!(
+            atis.next_change_after(TimeOfDay::hm(7, 0)),
+            Some(TimeOfDay::hm(8, 0))
+        );
+        assert_eq!(
+            atis.next_change_after(TimeOfDay::hm(8, 0)),
+            Some(TimeOfDay::hm(16, 0))
+        );
+        assert_eq!(
+            atis.next_change_after(TimeOfDay::hm(17, 0)),
+            Some(TimeOfDay::hm(18, 0))
+        );
         assert_eq!(atis.next_change_after(TimeOfDay::hm(20, 0)), None);
-        assert_eq!(AtiList::never_open().next_change_after(TimeOfDay::MIDNIGHT), None);
+        assert_eq!(
+            AtiList::never_open().next_change_after(TimeOfDay::MIDNIGHT),
+            None
+        );
     }
 
     #[test]
@@ -267,7 +284,10 @@ mod tests {
         // Never-open doors have no opening.
         assert_eq!(AtiList::never_open().next_open_at(at(9, 0)), None);
         // Always-open doors open immediately.
-        assert_eq!(AtiList::always_open().next_open_at(at(23, 59)), Some(at(23, 59)));
+        assert_eq!(
+            AtiList::always_open().next_open_at(at(23, 59)),
+            Some(at(23, 59))
+        );
     }
 
     #[test]

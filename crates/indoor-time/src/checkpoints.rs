@@ -219,7 +219,10 @@ mod tests {
             cps.interval_of(TimeOfDay::hm(10, 0)),
             (TimeOfDay::hm(9, 0), Some(TimeOfDay::hm(16, 0)))
         );
-        assert_eq!(cps.interval_of(TimeOfDay::hm(17, 0)), (TimeOfDay::hm(16, 0), None));
+        assert_eq!(
+            cps.interval_of(TimeOfDay::hm(17, 0)),
+            (TimeOfDay::hm(16, 0), None)
+        );
     }
 
     #[test]

@@ -52,7 +52,9 @@ impl Eq for DurationSecs {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for DurationSecs {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("DurationSecs is finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("DurationSecs is finite")
     }
 }
 

@@ -46,10 +46,17 @@ mod tests {
     #[test]
     fn messages_are_informative() {
         assert!(TimeError::OutOfRange(-3.0).to_string().contains("-3"));
-        assert!(TimeError::NegativeDuration(-1.0).to_string().contains("non-negative"));
-        assert!(TimeError::EmptyInterval { start: 5.0, end: 5.0 }
+        assert!(TimeError::NegativeDuration(-1.0)
             .to_string()
-            .contains("after start"));
-        assert!(TimeError::InvalidVelocity(0.0).to_string().contains("positive"));
+            .contains("non-negative"));
+        assert!(TimeError::EmptyInterval {
+            start: 5.0,
+            end: 5.0
+        }
+        .to_string()
+        .contains("after start"));
+        assert!(TimeError::InvalidVelocity(0.0)
+            .to_string()
+            .contains("positive"));
     }
 }

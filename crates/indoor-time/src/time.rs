@@ -254,9 +254,20 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![TimeOfDay::hm(9, 0), TimeOfDay::hm(8, 0), TimeOfDay::hm(10, 0)];
+        let mut v = vec![
+            TimeOfDay::hm(9, 0),
+            TimeOfDay::hm(8, 0),
+            TimeOfDay::hm(10, 0),
+        ];
         v.sort();
-        assert_eq!(v, vec![TimeOfDay::hm(8, 0), TimeOfDay::hm(9, 0), TimeOfDay::hm(10, 0)]);
+        assert_eq!(
+            v,
+            vec![
+                TimeOfDay::hm(8, 0),
+                TimeOfDay::hm(9, 0),
+                TimeOfDay::hm(10, 0)
+            ]
+        );
     }
 
     #[test]

@@ -8,20 +8,19 @@ fn arb_time() -> impl Strategy<Value = TimeOfDay> {
 }
 
 fn arb_interval() -> impl Strategy<Value = Interval> {
-    (0u32..86_399, 1u32..=86_400)
-        .prop_filter_map("non-empty interval", |(a, len)| {
-            let end = (a + len).min(86_400);
-            if end <= a {
-                return None;
-            }
-            Some(
-                Interval::new(
-                    TimeOfDay::from_seconds(f64::from(a)).unwrap(),
-                    TimeOfDay::from_seconds(f64::from(end)).unwrap(),
-                )
-                .unwrap(),
+    (0u32..86_399, 1u32..=86_400).prop_filter_map("non-empty interval", |(a, len)| {
+        let end = (a + len).min(86_400);
+        if end <= a {
+            return None;
+        }
+        Some(
+            Interval::new(
+                TimeOfDay::from_seconds(f64::from(a)).unwrap(),
+                TimeOfDay::from_seconds(f64::from(end)).unwrap(),
             )
-        })
+            .unwrap(),
+        )
+    })
 }
 
 fn arb_ati() -> impl Strategy<Value = AtiList> {

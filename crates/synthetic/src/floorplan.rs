@@ -73,7 +73,10 @@ impl MallConfig {
     /// A single-floor variant (141 partitions, 224 doors).
     #[must_use]
     pub fn single_floor() -> Self {
-        MallConfig { floors: 1, ..Self::paper_default() }
+        MallConfig {
+            floors: 1,
+            ..Self::paper_default()
+        }
     }
 
     /// A reduced venue for fast tests (1 floor, 2×2 grid, few shops). A 2×2
@@ -169,7 +172,8 @@ pub fn build_mall(cfg: &MallConfig, hours: &ShopHours) -> IndoorSpace {
                 d
             } else {
                 let d = b.add_door_on(&name, DoorKind::Private, AtiList::never_open(), pos, floor);
-                b.connect(d, Connection::Boundary(lobby)).expect("roof door");
+                b.connect(d, Connection::Boundary(lobby))
+                    .expect("roof door");
                 d
             };
             b.set_distance(lobby, floors[f].lobby_doors[li], up, half_flight)
@@ -282,8 +286,11 @@ fn build_floor(
                 Point::new(cfg.line(k) + half_w, y),
                 floor,
             );
-            b.connect(d_w, Connection::TwoWay(intersections[k][l], h_segments[k][l]))
-                .expect("hallway wiring");
+            b.connect(
+                d_w,
+                Connection::TwoWay(intersections[k][l], h_segments[k][l]),
+            )
+            .expect("hallway wiring");
             let d_e = b.add_door_on(
                 &format!("F{f}/vd/hseg({k},{l})e"),
                 DoorKind::Public,
@@ -291,8 +298,11 @@ fn build_floor(
                 Point::new(cfg.line(k + 1) - half_w, y),
                 floor,
             );
-            b.connect(d_e, Connection::TwoWay(h_segments[k][l], intersections[k + 1][l]))
-                .expect("hallway wiring");
+            b.connect(
+                d_e,
+                Connection::TwoWay(h_segments[k][l], intersections[k + 1][l]),
+            )
+            .expect("hallway wiring");
         }
     }
     for k in 0..g {
@@ -305,8 +315,11 @@ fn build_floor(
                 Point::new(x, cfg.line(l) + half_w),
                 floor,
             );
-            b.connect(d_s, Connection::TwoWay(intersections[k][l], v_segments[k][l]))
-                .expect("hallway wiring");
+            b.connect(
+                d_s,
+                Connection::TwoWay(intersections[k][l], v_segments[k][l]),
+            )
+            .expect("hallway wiring");
             let d_n = b.add_door_on(
                 &format!("F{f}/vd/vseg({k},{l})n"),
                 DoorKind::Public,
@@ -314,8 +327,11 @@ fn build_floor(
                 Point::new(x, cfg.line(l + 1) - half_w),
                 floor,
             );
-            b.connect(d_n, Connection::TwoWay(v_segments[k][l], intersections[k][l + 1]))
-                .expect("hallway wiring");
+            b.connect(
+                d_n,
+                Connection::TwoWay(v_segments[k][l], intersections[k][l + 1]),
+            )
+            .expect("hallway wiring");
         }
     }
 
@@ -467,11 +483,15 @@ fn build_floor(
                 door_pos,
                 floor,
             );
-            b.connect(front, Connection::TwoWay(shop, hall)).expect("outer shop wiring");
+            b.connect(front, Connection::TwoWay(shop, hall))
+                .expect("outer shop wiring");
             outer += 1;
         }
     }
-    assert_eq!(outer, cfg.outer_shops, "outer-shop slots exhausted; reduce outer_shops");
+    assert_eq!(
+        outer, cfg.outer_shops,
+        "outer-shop slots exhausted; reduce outer_shops"
+    );
 
     // --- Stair lobbies ------------------------------------------------------
     let mid_slot = (g - 1) / 2;
@@ -520,7 +540,8 @@ fn build_floor(
             door_pos,
             floor,
         );
-        b.connect(d, Connection::TwoWay(lobby, hall)).expect("lobby wiring");
+        b.connect(d, Connection::TwoWay(lobby, hall))
+            .expect("lobby wiring");
         lobbies.push(lobby);
         lobby_doors.push(d);
     }
@@ -582,8 +603,14 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let cfg = MallConfig::single_floor();
-        let a = build_mall(&cfg, &ShopHours::sample(&HoursConfig::default().with_seed(1)));
-        let b = build_mall(&cfg, &ShopHours::sample(&HoursConfig::default().with_seed(2)));
+        let a = build_mall(
+            &cfg,
+            &ShopHours::sample(&HoursConfig::default().with_seed(1)),
+        );
+        let b = build_mall(
+            &cfg,
+            &ShopHours::sample(&HoursConfig::default().with_seed(2)),
+        );
         assert_ne!(a, b);
     }
 
@@ -608,7 +635,10 @@ mod tests {
         assert_eq!(doors.len(), 2, "lobby has hallway door + up door");
         let dm = space.distance_matrix(lobby.id);
         let total: f64 = dm.distance(doors[0], doors[1]).unwrap();
-        assert!((total - 10.0).abs() < 1e-9, "half-flight is 10 m, got {total}");
+        assert!(
+            (total - 10.0).abs() < 1e-9,
+            "half-flight is 10 m, got {total}"
+        );
     }
 
     #[test]
@@ -629,7 +659,11 @@ mod tests {
         let space = build_mall(&MallConfig::single_floor(), &hours());
         for d in space.doors() {
             if d.name.contains("/vd/") || d.name.ends_with("/door") {
-                assert!(d.atis.is_always_open(), "hallway door {} must stay open", d.name);
+                assert!(
+                    d.atis.is_always_open(),
+                    "hallway door {} must stay open",
+                    d.name
+                );
             }
         }
     }

@@ -121,7 +121,10 @@ impl ShopHours {
     /// Panics if `t_size` is odd, below 2 or larger than the pool allows (16).
     #[must_use]
     pub fn sample(cfg: &HoursConfig) -> Self {
-        assert!(cfg.t_size.is_multiple_of(2), "|T| must be even (open/close pairs)");
+        assert!(
+            cfg.t_size.is_multiple_of(2),
+            "|T| must be even (open/close pairs)"
+        );
         let half = cfg.t_size / 2;
         let opens_pool = opens_pool();
         let closes_pool = closes_pool();
@@ -131,10 +134,7 @@ impl ShopHours {
             2 * opens_pool.len()
         );
         let (opens, closes) = match cfg.sampling {
-            Sampling::Nested => (
-                opens_pool[..half].to_vec(),
-                closes_pool[..half].to_vec(),
-            ),
+            Sampling::Nested => (opens_pool[..half].to_vec(), closes_pool[..half].to_vec()),
             Sampling::Random => {
                 let mut rng = StdRng::seed_from_u64(cfg.seed);
                 (
@@ -172,7 +172,12 @@ impl ShopHours {
     /// All checkpoint times of `T` in ascending order.
     #[must_use]
     pub fn checkpoint_times(&self) -> Vec<TimeOfDay> {
-        let mut t: Vec<TimeOfDay> = self.opens.iter().chain(self.closes.iter()).copied().collect();
+        let mut t: Vec<TimeOfDay> = self
+            .opens
+            .iter()
+            .chain(self.closes.iter())
+            .copied()
+            .collect();
         t.sort();
         t.dedup();
         t
@@ -207,11 +212,7 @@ impl ShopHours {
     }
 }
 
-fn sample_without_replacement(
-    pool: &[TimeOfDay],
-    k: usize,
-    rng: &mut impl Rng,
-) -> Vec<TimeOfDay> {
+fn sample_without_replacement(pool: &[TimeOfDay], k: usize, rng: &mut impl Rng) -> Vec<TimeOfDay> {
     let mut idx: Vec<usize> = (0..pool.len()).collect();
     // Partial Fisher–Yates.
     for i in 0..k {
@@ -245,7 +246,11 @@ mod tests {
         assert!(t4.opens().iter().all(|&o| o <= TimeOfDay::hm(8, 0)));
         // … while |T| = 16 has mostly later opens.
         let t16 = ShopHours::sample(&HoursConfig::default().with_t_size(16));
-        let late = t16.opens().iter().filter(|&&o| o > TimeOfDay::hm(8, 0)).count();
+        let late = t16
+            .opens()
+            .iter()
+            .filter(|&&o| o > TimeOfDay::hm(8, 0))
+            .count();
         assert!(late >= 5, "expected most opens after 8:00, got {late} of 8");
     }
 
@@ -272,10 +277,12 @@ mod tests {
             assert!(!atis.is_never_open());
             assert!(atis.intervals().len() <= 3);
             for iv in atis.intervals() {
-                assert!(hours.opens().contains(&iv.start()) || {
-                    // A merged interval may start at any sampled open …
-                    hours.opens().iter().any(|&o| o == iv.start())
-                });
+                assert!(
+                    hours.opens().contains(&iv.start()) || {
+                        // A merged interval may start at any sampled open …
+                        hours.opens().iter().any(|&o| o == iv.start())
+                    }
+                );
                 assert!(hours.closes().contains(&iv.end()));
             }
         }

@@ -160,7 +160,10 @@ pub fn generate_queries(graph: &ItGraph, cfg: &QueryGenConfig) -> Vec<GeneratedQ
                     continue;
                 }
                 let gap = (d_pt - cfg.delta_s2t).abs();
-                if best.as_ref().is_none_or(|(_, bd)| gap < (bd - cfg.delta_s2t).abs()) {
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, bd)| gap < (bd - cfg.delta_s2t).abs())
+                {
                     best = Some((pt, d_pt));
                 }
             }
@@ -180,11 +183,7 @@ pub fn generate_queries(graph: &ItGraph, cfg: &QueryGenConfig) -> Vec<GeneratedQ
     out
 }
 
-fn random_point_in(
-    space: &indoor_space::IndoorSpace,
-    v: PartitionId,
-    rng: &mut StdRng,
-) -> Point {
+fn random_point_in(space: &indoor_space::IndoorSpace, v: PartitionId, rng: &mut StdRng) -> Point {
     let poly = space
         .partition(v)
         .polygon
@@ -223,7 +222,11 @@ mod tests {
         assert_eq!(queries.len(), 5);
         for gq in &queries {
             let gap = (gq.realised_distance - 1500.0).abs();
-            assert!(gap <= 150.0, "realised {} too far from 1500", gq.realised_distance);
+            assert!(
+                gap <= 150.0,
+                "realised {} too far from 1500",
+                gq.realised_distance
+            );
             assert_eq!(gq.query.time, TimeOfDay::hm(12, 0));
             assert_ne!(gq.query.source.partition, gq.query.target.partition);
         }
@@ -259,7 +262,12 @@ mod tests {
         let queries = generate_queries(&graph, &QueryGenConfig::default().with_count(3));
         for gq in &queries {
             for p in [gq.query.source, gq.query.target] {
-                let poly = graph.space().partition(p.partition).polygon.as_ref().unwrap();
+                let poly = graph
+                    .space()
+                    .partition(p.partition)
+                    .polygon
+                    .as_ref()
+                    .unwrap();
                 assert!(poly.contains(p.position));
             }
         }

@@ -1,0 +1,300 @@
+//! A minimal, offline stand-in for `criterion`.
+//!
+//! Runs each benchmark for roughly the configured measurement time and
+//! prints the mean iteration latency — no statistics, plots or baselines.
+//! Understands enough of the cargo bench protocol to behave: `--test` (from
+//! `cargo test --benches`) runs every benchmark exactly once, and a
+//! positional argument filters benchmarks by substring.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, as the real crate provides.
+pub use std::hint::black_box;
+
+/// The benchmark context handed to `criterion_group!` functions.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Real-criterion flags that take a value: consume it so it is
+                // not mistaken for a positional benchmark filter.
+                "--sample-size"
+                | "--measurement-time"
+                | "--warm-up-time"
+                | "--save-baseline"
+                | "--baseline"
+                | "--load-baseline"
+                | "--profile-time"
+                | "--color"
+                | "--output-format"
+                | "--significance-level"
+                | "--noise-threshold" => {
+                    args.next();
+                }
+                // Other flags (cargo's --bench, --quiet, ...) are ignored.
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            _measurement_kind: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name.to_string(), f);
+        g.finish();
+        self
+    }
+}
+
+/// Measurement strategies; only wall-clock time exists in this stub.
+pub mod measurement {
+    /// Wall-clock time measurement (the default).
+    pub struct WallTime;
+}
+
+/// A named benchmark id, optionally parameterised (`name/param`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    #[must_use]
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id from a parameter value only.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    criterion: &'a mut Criterion,
+    warm_up: Duration,
+    measurement: Duration,
+    _measurement_kind: std::marker::PhantomData<M>,
+}
+
+impl<'a, M> BenchmarkGroup<'a, M> {
+    /// Sets the nominal sample count. Accepted for API compatibility; this
+    /// stub sizes runs by time, not samples.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            test_mode: self.criterion.test_mode,
+            total_iters: 0,
+            total_time: Duration::ZERO,
+        };
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (prints nothing extra in this stub).
+    pub fn finish(self) {}
+}
+
+/// Runs the measured routine.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+    total_iters: u64,
+    total_time: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly for the configured measurement time (or
+    /// exactly once under `--test`) and records the mean latency.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.total_iters = 1;
+            self.total_time = Duration::from_nanos(1);
+            return;
+        }
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measurement {
+            black_box(routine());
+            iters += 1;
+        }
+        self.total_iters = iters.max(1);
+        self.total_time = start.elapsed();
+    }
+
+    fn report(&self, name: &str) {
+        if self.total_iters == 0 {
+            println!("{name:<60} (no measurement: bencher was not driven)");
+            return;
+        }
+        if self.test_mode {
+            println!("{name:<60} ok (test mode)");
+            return;
+        }
+        let mean = self.total_time.as_secs_f64() / self.total_iters as f64;
+        println!(
+            "{name:<60} time: {:>12} iters: {}",
+            format_seconds(mean),
+            self.total_iters
+        );
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.2} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routine() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut ran = 0u32;
+        let mut g = c.benchmark_group("t");
+        g.bench_function("case", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("only-this".into()),
+            test_mode: true,
+        };
+        let mut ran = 0u32;
+        let mut g = c.benchmark_group("t");
+        g.bench_function("other", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert_eq!(ran, 0);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+        assert_eq!(format_seconds(2.5e-9), "2.50 ns");
+        assert_eq!(format_seconds(2.5e-3), "2.50 ms");
+    }
+}

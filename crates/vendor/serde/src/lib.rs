@@ -1,0 +1,436 @@
+//! A minimal, offline stand-in for the `serde` crate.
+//!
+//! The real `serde` models serialisation as a streaming visitor protocol; this
+//! stub models it as conversion to and from an owned [`Value`] tree, which is
+//! all the ITSPQ workspace needs (JSON round-trips through `serde_json`).
+//! The public names mirror the real crate closely enough that `use
+//! serde::{Deserialize, Serialize}` and `#[derive(Serialize, Deserialize)]`
+//! with the `transparent` and `try_from`/`into` container attributes work
+//! unchanged.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like data model value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any numeric value.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (order preserved for round-trips).
+    Map(Vec<(String, Value)>),
+}
+
+/// A number that remembers whether it was written as an integer or a float,
+/// so `5` round-trips as `5` and `12.0` as `12.0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossy only beyond 2^53).
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+}
+
+/// Serialisation/deserialisation error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can convert themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the data-model tree.
+    ///
+    /// # Errors
+    /// Propagates conversion failures (e.g. non-finite floats at the JSON
+    /// layer use this channel).
+    fn to_value(&self) -> Result<Value, Error>;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the data-model tree.
+    ///
+    /// # Errors
+    /// Returns an error when the value shape does not match.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Marker alias used by some generic code in the real serde.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+fn unexpected(expected: &str, got: &Value) -> Error {
+    let kind = match got {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Seq(_) => "sequence",
+        Value::Map(_) => "map",
+    };
+    Error(format!("expected {expected}, found {kind}"))
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Result<Value, Error> {
+        Ok(Value::Bool(*self))
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(unexpected("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Result<Value, Error> {
+                Ok(Value::Number(Number::U(*self as u64)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(Number::U(u)) => <$t>::try_from(*u)
+                        .map_err(|_| Error(format!("integer {u} out of range"))),
+                    Value::Number(Number::I(i)) => <$t>::try_from(*i)
+                        .map_err(|_| Error(format!("integer {i} out of range"))),
+                    other => Err(unexpected("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Result<Value, Error> {
+                let v = i64::from(*self);
+                Ok(Value::Number(if v < 0 { Number::I(v) } else { Number::U(v as u64) }))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(Number::U(u)) => <$t>::try_from(*u)
+                        .map_err(|_| Error(format!("integer {u} out of range"))),
+                    Value::Number(Number::I(i)) => <$t>::try_from(*i)
+                        .map_err(|_| Error(format!("integer {i} out of range"))),
+                    other => Err(unexpected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Result<Value, Error> {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        i64::from_value(value).map(|v| v as isize)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Result<Value, Error> {
+        Ok(Value::Number(Number::F(*self)))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(unexpected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Result<Value, Error> {
+        Ok(Value::Number(Number::F(f64::from(*self))))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Result<Value, Error> {
+        Ok(Value::String(self.clone()))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(unexpected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Result<Value, Error> {
+        Ok(Value::String(self.to_owned()))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Result<Value, Error> {
+        Ok(Value::String(self.to_string()))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = String::from_value(value)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error(format!("expected a single character, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Result<Value, Error> {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Result<Value, Error> {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Result<Value, Error> {
+        Ok(Value::Seq(
+            self.iter()
+                .map(Serialize::to_value)
+                .collect::<Result<_, _>>()?,
+        ))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(unexpected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Result<Value, Error> {
+        match self {
+            None => Ok(Value::Null),
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Result<Value, Error> {
+                Ok(Value::Seq(vec![$(self.$idx.to_value()?),+]))
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Seq(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(Error(format!(
+                                "expected a tuple of {expected}, got {}", items.len())));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(unexpected("tuple sequence", other)),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Result<Value, Error> {
+        self.as_slice().to_value()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Result<Value, Error> {
+        // Sort keys for a deterministic encoding.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Ok(Value::Map(
+            keys.into_iter()
+                .map(|k| Ok((k.clone(), self[k].to_value()?)))
+                .collect::<Result<_, Error>>()?,
+        ))
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(unexpected("map", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Result<Value, Error> {
+        Ok(Value::Map(
+            self.iter()
+                .map(|(k, v)| Ok((k.clone(), v.to_value()?)))
+                .collect::<Result<_, Error>>()?,
+        ))
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(unexpected("map", other)),
+        }
+    }
+}
+
+/// Support code referenced by `serde_derive`-generated impls. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Looks up `name` in a struct's map encoding and deserialises it;
+    /// missing keys deserialise as `null` (so `Option` fields default to
+    /// `None`).
+    ///
+    /// # Errors
+    /// Propagates the field's own deserialisation error.
+    pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, Error> {
+        let found = entries.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        match found {
+            Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+            None => T::from_value(&Value::Null)
+                .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Unwraps a map encoding or errors.
+    ///
+    /// # Errors
+    /// Returns an error when the value is not a map.
+    pub fn as_map(value: &Value) -> Result<&[(String, Value)], Error> {
+        match value {
+            Value::Map(entries) => Ok(entries),
+            _ => Err(Error::custom("expected a map")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert!(bool::from_value(&Value::Bool(true)).unwrap());
+        assert_eq!(u32::from_value(&Value::Number(Number::U(7))).unwrap(), 7);
+        assert!(u32::from_value(&Value::Number(Number::I(-1))).is_err());
+        assert_eq!(f64::from_value(&Value::Number(Number::U(5))).unwrap(), 5.0);
+        let v: Vec<u8> = Vec::from_value(&vec![1u8, 2, 3].to_value().unwrap()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_value().unwrap(), Value::Null);
+        let back: Option<u32> = Option::from_value(&Value::Null).unwrap();
+        assert_eq!(back, None);
+        let back: Option<u32> = Option::from_value(&Value::Number(Number::U(3))).unwrap();
+        assert_eq!(back, Some(3));
+    }
+}

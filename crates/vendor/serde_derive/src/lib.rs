@@ -1,0 +1,368 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! Supports the shapes this workspace actually uses:
+//!
+//! * structs with named fields (any visibility) — encoded as a map;
+//! * tuple structs — encoded as a sequence (or transparently, see below);
+//! * enums with unit variants only — encoded as the variant name string;
+//! * container attributes `#[serde(transparent)]` and
+//!   `#[serde(try_from = "T", into = "T")]`.
+//!
+//! Generics and data-carrying enum variants are rejected with a compile error
+//! rather than silently mis-encoded.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct Attrs {
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+    attrs: Attrs,
+}
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(&input, true)
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(&input, false)
+}
+
+fn expand(input: &TokenStream, ser: bool) -> TokenStream {
+    let item = match parse_item(input.clone()) {
+        Ok(item) => item,
+        Err(msg) => return error(&msg),
+    };
+    let code = if ser {
+        gen_serialize(&item)
+    } else {
+        gen_deserialize(&item)
+    };
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(e) => error(&format!("serde_derive internal codegen error: {e}")),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal compile_error")
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = Attrs::default();
+
+    // Leading attributes (doc comments, #[serde(...)], ...).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_outer_attr(&g.stream(), &mut attrs);
+                    i += 2;
+                } else {
+                    return Err("stray `#` before item".into());
+                }
+            }
+            _ => break,
+        }
+    }
+
+    // Visibility.
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => return Err(format!("expected `struct` or `enum`, found `{other}`")),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => return Err(format!("expected item name, found `{other}`")),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive does not support generics (on `{name}`)"
+        ));
+    }
+
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Shape::Named(parse_named_fields(&g.stream())?)
+            } else {
+                Shape::Enum(parse_unit_variants(&g.stream(), &name)?)
+            }
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            Shape::Tuple(count_tuple_fields(&g.stream()))
+        }
+        other => return Err(format!("unsupported item body for `{name}`: {other:?}")),
+    };
+
+    Ok(Item { name, shape, attrs })
+}
+
+/// Interprets one outer attribute body (the bracketed part after `#`),
+/// recording `#[serde(...)]` container options.
+fn parse_outer_attr(stream: &TokenStream, attrs: &mut Attrs) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        if let TokenTree::Ident(id) = &args[j] {
+            let key = id.to_string();
+            let value = match (args.get(j + 1), args.get(j + 2)) {
+                (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                    if eq.as_char() == '=' =>
+                {
+                    j += 2;
+                    let s = lit.to_string();
+                    Some(s.trim_matches('"').to_string())
+                }
+                _ => None,
+            };
+            match (key.as_str(), value) {
+                ("transparent", None) => attrs.transparent = true,
+                ("try_from", Some(v)) => attrs.try_from = Some(v),
+                ("into", Some(v)) => attrs.into = Some(v),
+                _ => {} // Unknown options are ignored, like unknown lints.
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Splits a token sequence at top-level commas, treating `<...>` nesting as
+/// opaque (delimiter groups are already opaque in a token stream).
+fn split_top_level(stream: &TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream.clone() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Skips field/variant attributes and visibility, returning the next index.
+fn skip_attrs_and_vis(chunk: &[TokenTree], mut j: usize) -> usize {
+    loop {
+        match chunk.get(j) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => j += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                j += 1;
+                if matches!(chunk.get(j), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    j += 1;
+                }
+            }
+            _ => return j,
+        }
+    }
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(stream) {
+        let j = skip_attrs_and_vis(&chunk, 0);
+        match (chunk.get(j), chunk.get(j + 1)) {
+            (Some(TokenTree::Ident(id)), Some(TokenTree::Punct(c))) if c.as_char() == ':' => {
+                fields.push(id.to_string());
+            }
+            _ => return Err("could not parse a named struct field".into()),
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_unit_variants(stream: &TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let j = skip_attrs_and_vis(&chunk, 0);
+        match chunk.get(j) {
+            Some(TokenTree::Ident(id)) => {
+                if chunk.get(j + 1).is_some() {
+                    return Err(format!(
+                        "serde stub derive supports unit enum variants only; \
+                         `{enum_name}::{id}` carries data"
+                    ));
+                }
+                variants.push(id.to_string());
+            }
+            _ => return Err(format!("could not parse a variant of `{enum_name}`")),
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into) = &item.attrs.into {
+        format!(
+            "let __proxy: {into} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__proxy)"
+        )
+    } else {
+        match &item.shape {
+            Shape::Tuple(1) if item.attrs.transparent => {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            }
+            Shape::Named(fields) if item.attrs.transparent && fields.len() == 1 => {
+                format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            }
+            Shape::Named(fields) => {
+                let mut b = String::from("let mut __map = ::std::vec::Vec::new();\n");
+                for f in fields {
+                    b.push_str(&format!(
+                        "__map.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})?));\n"
+                    ));
+                }
+                b.push_str("Ok(::serde::Value::Map(__map))");
+                b
+            }
+            Shape::Tuple(n) => {
+                let mut b = String::from("let mut __seq = ::std::vec::Vec::new();\n");
+                for idx in 0..*n {
+                    b.push_str(&format!(
+                        "__seq.push(::serde::Serialize::to_value(&self.{idx})?);\n"
+                    ));
+                }
+                b.push_str("Ok(::serde::Value::Seq(__seq))");
+                b
+            }
+            Shape::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        format!("{name}::{v} => Ok(::serde::Value::String({v:?}.to_string())),")
+                    })
+                    .collect();
+                format!("match self {{\n{}\n}}", arms.join("\n"))
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::std::result::Result<::serde::Value, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(try_from) = &item.attrs.try_from {
+        format!(
+            "let __proxy: {try_from} = ::serde::Deserialize::from_value(__value)?;\n\
+             ::std::convert::TryFrom::try_from(__proxy).map_err(::serde::Error::custom)"
+        )
+    } else {
+        match &item.shape {
+            Shape::Tuple(1) if item.attrs.transparent => {
+                format!("Ok({name}(::serde::Deserialize::from_value(__value)?))")
+            }
+            Shape::Named(fields) if item.attrs.transparent && fields.len() == 1 => {
+                format!(
+                    "Ok({name} {{ {}: ::serde::Deserialize::from_value(__value)? }})",
+                    fields[0]
+                )
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__private::field(__map, {f:?})?,"))
+                    .collect();
+                format!(
+                    "let __map = ::serde::__private::as_map(__value)?;\n\
+                     Ok({name} {{\n{}\n}})",
+                    inits.join("\n")
+                )
+            }
+            Shape::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|idx| format!("::serde::Deserialize::from_value(&__seq[{idx}])?,"))
+                    .collect();
+                format!(
+                    "let __seq = match __value {{\n\
+                     ::serde::Value::Seq(s) if s.len() == {n} => s,\n\
+                     _ => return Err(::serde::Error::custom(\
+                     \"expected a sequence of {n}\")),\n}};\n\
+                     Ok({name}({}))",
+                    inits.join(" ")
+                )
+            }
+            Shape::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                    .collect();
+                format!(
+                    "let ::serde::Value::String(__s) = __value else {{\n\
+                     return Err(::serde::Error::custom(\"expected a variant name string\"));\n}};\n\
+                     match __s.as_str() {{\n{}\n\
+                     other => Err(::serde::Error::custom(format!(\
+                     \"unknown variant `{{other}}`\"))),\n}}",
+                    arms.join("\n")
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -28,11 +28,28 @@ fn main() {
         lane_hours.clone(),
         Point::new(50.0, 0.0),
     );
-    b.connect(lane_in, Connection::OneWay { from: landside, to: security })
-        .unwrap();
-    let lane_out = b.add_door("security-out", DoorKind::Public, lane_hours, Point::new(70.0, 0.0));
-    b.connect(lane_out, Connection::OneWay { from: security, to: airside })
-        .unwrap();
+    b.connect(
+        lane_in,
+        Connection::OneWay {
+            from: landside,
+            to: security,
+        },
+    )
+    .unwrap();
+    let lane_out = b.add_door(
+        "security-out",
+        DoorKind::Public,
+        lane_hours,
+        Point::new(70.0, 0.0),
+    );
+    b.connect(
+        lane_out,
+        Connection::OneWay {
+            from: security,
+            to: airside,
+        },
+    )
+    .unwrap();
 
     // Baggage handling: a *much* shorter private corridor between landside
     // and airside. Staff only — rule 2 must keep passengers out.
@@ -42,18 +59,32 @@ fn main() {
         AtiList::always_open(),
         Point::new(30.0, -20.0),
     );
-    b.connect(bag_in, Connection::TwoWay(landside, baggage)).unwrap();
+    b.connect(bag_in, Connection::TwoWay(landside, baggage))
+        .unwrap();
     let bag_out = b.add_door(
         "baggage-out",
         DoorKind::Private,
         AtiList::always_open(),
         Point::new(40.0, -20.0),
     );
-    b.connect(bag_out, Connection::TwoWay(baggage, airside)).unwrap();
+    b.connect(bag_out, Connection::TwoWay(baggage, airside))
+        .unwrap();
 
     // Exit corridor: one-way airside -> landside, always open.
-    let exit = b.add_door("exit", DoorKind::Public, AtiList::always_open(), Point::new(60.0, 30.0));
-    b.connect(exit, Connection::OneWay { from: airside, to: landside }).unwrap();
+    let exit = b.add_door(
+        "exit",
+        DoorKind::Public,
+        AtiList::always_open(),
+        Point::new(60.0, 30.0),
+    );
+    b.connect(
+        exit,
+        Connection::OneWay {
+            from: airside,
+            to: landside,
+        },
+    )
+    .unwrap();
 
     // Gates: close at boarding end.
     let ga = b.add_door(
@@ -129,7 +160,10 @@ fn main() {
     // standing in baggage handling is reachable (through a private door).
     let handler = IndoorPoint::new(baggage, Point::new(35.0, -22.0));
     let q = Query::new(kerb, handler, TimeOfDay::hm(12, 0));
-    let p = engine.query(&q).path.expect("endpoint inside a private zone is allowed");
+    let p = engine
+        .query(&q)
+        .path
+        .expect("endpoint inside a private zone is allowed");
     println!(
         "\nkerb -> baggage handler: {} ({:.0} m)",
         p.format_with(graph.space()),

@@ -26,10 +26,21 @@ fn build_hospital() -> (IndoorSpace, IndoorPoint, IndoorPoint) {
     let visiting = AtiList::hm(&[((10, 0), (12, 0)), ((14, 0), (19, 0))]);
     let always = AtiList::always_open();
 
-    let main = b.add_door("main", DoorKind::Public, always.clone(), Point::new(0.0, 0.0));
-    b.connect(main, Connection::TwoWay(lobby, corridor)).unwrap();
+    let main = b.add_door(
+        "main",
+        DoorKind::Public,
+        always.clone(),
+        Point::new(0.0, 0.0),
+    );
+    b.connect(main, Connection::TwoWay(lobby, corridor))
+        .unwrap();
 
-    let w1 = b.add_door("ward1", DoorKind::Public, visiting.clone(), Point::new(20.0, 5.0));
+    let w1 = b.add_door(
+        "ward1",
+        DoorKind::Public,
+        visiting.clone(),
+        Point::new(20.0, 5.0),
+    );
     b.connect(w1, Connection::TwoWay(corridor, ward1)).unwrap();
 
     let w2 = b.add_door("ward2", DoorKind::Public, visiting, Point::new(40.0, 5.0));
@@ -43,7 +54,12 @@ fn build_hospital() -> (IndoorSpace, IndoorPoint, IndoorPoint) {
         Point::new(22.0, 10.0),
     );
     b.connect(s1, Connection::TwoWay(ward1, staff)).unwrap();
-    let s2 = b.add_door("staff2", DoorKind::Private, always.clone(), Point::new(38.0, 10.0));
+    let s2 = b.add_door(
+        "staff2",
+        DoorKind::Private,
+        always.clone(),
+        Point::new(38.0, 10.0),
+    );
     b.connect(s2, Connection::TwoWay(staff, ward2)).unwrap();
 
     let ph = b.add_door(
@@ -52,7 +68,8 @@ fn build_hospital() -> (IndoorSpace, IndoorPoint, IndoorPoint) {
         AtiList::hm(&[((8, 0), (18, 0))]),
         Point::new(10.0, -5.0),
     );
-    b.connect(ph, Connection::TwoWay(corridor, pharmacy)).unwrap();
+    b.connect(ph, Connection::TwoWay(corridor, pharmacy))
+        .unwrap();
 
     let space = b.build().unwrap();
     let visitor = IndoorPoint::new(lobby, Point::new(-5.0, 0.0));
@@ -95,18 +112,11 @@ fn main() {
     // door until visiting hours start at 10:00.
     let q = Query::new(visitor, patient, TimeOfDay::hm(9, 30));
     assert!(engine.query(&q).path.is_none());
-    let timed = earliest_arrival(
-        &graph,
-        &q,
-        &ItspqConfig::default(),
-        WaitPolicy::Unlimited,
-    )
-    .expect("waiting makes the ward reachable");
+    let timed = earliest_arrival(&graph, &q, &ItspqConfig::default(), WaitPolicy::Unlimited)
+        .expect("waiting makes the ward reachable");
     println!(
         "\n9:30 with waiting: arrive {} after waiting {} (walk {:.1} m)",
-        timed.arrival,
-        timed.total_wait,
-        timed.walking_distance
+        timed.arrival, timed.total_wait, timed.walking_distance
     );
     for hop in &timed.hops {
         println!(

@@ -76,7 +76,8 @@ fn main() {
                     let real = syn.query(&q);
                     match real.path {
                         Some(rp) => println!(
-                            "         ITSPQ instead returns a valid {:.0} m path", rp.length
+                            "         ITSPQ instead returns a valid {:.0} m path",
+                            rp.length
                         ),
                         None => println!("         ITSPQ correctly answers: no such routes"),
                     }

@@ -38,9 +38,12 @@ fn main() {
         AtiList::hm(&[((9, 0), (17, 0))]),
         itspq_repro::geom::Point::new(5.0, -4.0),
     );
-    b.connect(door_a, Connection::TwoWay(room_a, hallway)).unwrap();
-    b.connect(door_b, Connection::TwoWay(hallway, room_b)).unwrap();
-    b.connect(door_c, Connection::TwoWay(hallway, archive)).unwrap();
+    b.connect(door_a, Connection::TwoWay(room_a, hallway))
+        .unwrap();
+    b.connect(door_b, Connection::TwoWay(hallway, room_b))
+        .unwrap();
+    b.connect(door_c, Connection::TwoWay(hallway, archive))
+        .unwrap();
     let space = b.build().unwrap();
     println!("venue: {}", space.stats());
 
@@ -72,7 +75,10 @@ fn main() {
 
     // Query 3: the archive door is closed at 18:00 — no route.
     let q = Query::new(ps, arch_pt, TimeOfDay::hm(18, 0));
-    println!("18:00 -> archive: {:?}", engine.query(&q).path.map(|p| p.length));
+    println!(
+        "18:00 -> archive: {:?}",
+        engine.query(&q).path.map(|p| p.length)
+    );
 
     // ITG/A gives the same answers via reduced time-dependent graphs.
     let asyn = AsynEngine::new(graph.clone(), ItspqConfig::default());

@@ -16,6 +16,26 @@
 //!   generation, query instances).
 //!
 //! See `examples/quickstart.rs` for a guided tour.
+//!
+//! # Example
+//!
+//! The paper's Example 1 through the umbrella prelude: at 9:00 the 12 m
+//! route through d18 wins (the 10 m shortcut crosses the private v15), and
+//! at 23:30 no valid route remains.
+//!
+//! ```
+//! use itspq_repro::prelude::*;
+//! use itspq_repro::space::paper_example;
+//!
+//! let ex = paper_example::build();
+//! let engine = SynEngine::new(ItGraph::new(ex.space.clone()), ItspqConfig::default());
+//!
+//! let morning = engine.query(&Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0)));
+//! assert!((morning.path.expect("feasible at 9:00").length - 12.0).abs() < 1e-9);
+//!
+//! let night = engine.query(&Query::new(ex.p3, ex.p4, TimeOfDay::hm(23, 30)));
+//! assert!(night.path.is_none());
+//! ```
 
 pub use indoor_geom as geom;
 pub use indoor_space as space;

@@ -33,20 +33,43 @@ fn build() -> (IndoorSpace, IndoorPoint, IndoorPoint) {
     let target = b.add_partition("target", PartitionKind::Public);
 
     let always = AtiList::always_open();
-    let d_short = b.add_door("short-in", DoorKind::Public, always.clone(), Point::new(10.0, 10.0));
-    b.connect(d_short, Connection::TwoWay(start, short_hall)).unwrap();
-    let d_long = b.add_door("long-in", DoorKind::Public, always.clone(), Point::new(10.0, -10.0));
-    b.connect(d_long, Connection::TwoWay(start, long_hall)).unwrap();
+    let d_short = b.add_door(
+        "short-in",
+        DoorKind::Public,
+        always.clone(),
+        Point::new(10.0, 10.0),
+    );
+    b.connect(d_short, Connection::TwoWay(start, short_hall))
+        .unwrap();
+    let d_long = b.add_door(
+        "long-in",
+        DoorKind::Public,
+        always.clone(),
+        Point::new(10.0, -10.0),
+    );
+    b.connect(d_long, Connection::TwoWay(start, long_hall))
+        .unwrap();
 
     // Both halls end at the gate room.
-    let d_short_out =
-        b.add_door("short-out", DoorKind::Public, always.clone(), Point::new(100.0, 10.0));
-    b.connect(d_short_out, Connection::TwoWay(short_hall, gate_room)).unwrap();
-    let d_long_out =
-        b.add_door("long-out", DoorKind::Public, always.clone(), Point::new(100.0, -10.0));
-    b.connect(d_long_out, Connection::TwoWay(long_hall, gate_room)).unwrap();
+    let d_short_out = b.add_door(
+        "short-out",
+        DoorKind::Public,
+        always.clone(),
+        Point::new(100.0, 10.0),
+    );
+    b.connect(d_short_out, Connection::TwoWay(short_hall, gate_room))
+        .unwrap();
+    let d_long_out = b.add_door(
+        "long-out",
+        DoorKind::Public,
+        always.clone(),
+        Point::new(100.0, -10.0),
+    );
+    b.connect(d_long_out, Connection::TwoWay(long_hall, gate_room))
+        .unwrap();
     // The long hall really is long: override its interior distance.
-    b.set_distance(long_hall, d_long, d_long_out, 430.0).unwrap();
+    b.set_distance(long_hall, d_long, d_long_out, 430.0)
+        .unwrap();
 
     let gate = b.add_door(
         "gate",
@@ -54,7 +77,8 @@ fn build() -> (IndoorSpace, IndoorPoint, IndoorPoint) {
         AtiList::hm(&[((8, 0), (20, 0))]),
         Point::new(110.0, 0.0),
     );
-    b.connect(gate, Connection::TwoWay(gate_room, target)).unwrap();
+    b.connect(gate, Connection::TwoWay(gate_room, target))
+        .unwrap();
 
     let space = b.build().unwrap();
     let ps = IndoorPoint::new(start, Point::new(0.0, 0.0));
@@ -79,7 +103,9 @@ fn dijkstra_style_engines_miss_the_late_path() {
     // Yet a valid (longer) path exists: the oracle takes the long hall.
     let oracle = baselines::exhaustive_shortest(&graph, &q, &ItspqConfig::default(), 8)
         .expect("the detour is valid");
-    assert!(oracle.doors().any(|d| graph.space().door(d).name == "long-out"));
+    assert!(oracle
+        .doors()
+        .any(|d| graph.space().door(d).name == "long-out"));
     validate_path(graph.space(), &oracle, q.time, WALKING_SPEED).unwrap();
 
     // Sanity: five minutes later the gate is open and the engine takes the
@@ -89,7 +115,9 @@ fn dijkstra_style_engines_miss_the_late_path() {
         .query(&q2)
         .path
         .expect("short route valid once the gate is open");
-    assert!(path.doors().any(|d| graph.space().door(d).name == "short-out"));
+    assert!(path
+        .doors()
+        .any(|d| graph.space().door(d).name == "short-out"));
     assert!(path.length < oracle.length);
 }
 
@@ -105,11 +133,19 @@ fn faithful_asyn_accepts_an_invalid_path_here() {
     let q = Query::new(ps, pt, TimeOfDay::hms(7, 55, 30));
     let faithful = AsynEngine::new(graph.clone(), ItspqConfig::default());
     let res = faithful.query(&q);
-    assert!(res.stats.graph_updates >= 1, "the premature update must occur");
-    let path = res.path.expect("the paper's ITG/A accepts the short route here");
+    assert!(
+        res.stats.graph_updates >= 1,
+        "the premature update must occur"
+    );
+    let path = res
+        .path
+        .expect("the paper's ITG/A accepts the short route here");
     let verdict = validate_path(graph.space(), &path, q.time, WALKING_SPEED);
     assert!(
-        matches!(verdict, Err(itspq_repro::core::PathViolation::DoorClosed { .. })),
+        matches!(
+            verdict,
+            Err(itspq_repro::core::PathViolation::DoorClosed { .. })
+        ),
         "the accepted path crosses the still-closed gate: {verdict:?}"
     );
 }
@@ -123,8 +159,14 @@ fn waiting_extension_resolves_the_anomaly() {
         .expect("waiting at the gate until 8:00 works");
     // Earliest arrival takes the SHORT route and waits at the gate, beating
     // the oracle's no-wait detour on arrival time.
-    assert!(timed.hops.iter().any(|h| graph.space().door(h.door).name == "short-out"));
+    assert!(timed
+        .hops
+        .iter()
+        .any(|h| graph.space().door(h.door).name == "short-out"));
     assert!(timed.total_wait.seconds() > 0.0);
     let oracle = baselines::exhaustive_shortest(&graph, &q, &ItspqConfig::default(), 8).unwrap();
-    assert!(timed.arrival < oracle.arrival, "waiting beats detouring here");
+    assert!(
+        timed.arrival < oracle.arrival,
+        "waiting beats detouring here"
+    );
 }

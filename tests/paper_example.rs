@@ -19,7 +19,9 @@ fn example1_morning_query_returns_d18_path() {
     let (ex, syn, asyn) = engines();
     let q = Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0));
     for (name, res) in [("ITG/S", syn.query(&q)), ("ITG/A", asyn.query(&q))] {
-        let path = res.path.unwrap_or_else(|| panic!("{name}: path must exist at 9:00"));
+        let path = res
+            .path
+            .unwrap_or_else(|| panic!("{name}: path must exist at 9:00"));
         assert_eq!(
             path.doors().collect::<Vec<_>>(),
             vec![ex.d(18)],
@@ -117,7 +119,12 @@ fn engines_agree_on_a_time_sweep() {
         ItGraph::new(ex.space.clone()),
         ItspqConfig::default().with_asyn_mode(AsynMode::Exact),
     );
-    let pairs = [(ex.p1, ex.p2), (ex.p2, ex.p3), (ex.p3, ex.p1), (ex.p4, ex.p2)];
+    let pairs = [
+        (ex.p1, ex.p2),
+        (ex.p2, ex.p3),
+        (ex.p3, ex.p1),
+        (ex.p4, ex.p2),
+    ];
     for hour in 0..24 {
         for (a, b) in pairs {
             let q = Query::new(a, b, TimeOfDay::hm(hour, 0));
@@ -144,7 +151,12 @@ fn full_relax_never_longer_than_paper_pruned() {
         graph,
         ItspqConfig::default().with_expand(ExpandPolicy::FullRelax),
     );
-    let pairs = [(ex.p1, ex.p2), (ex.p2, ex.p4), (ex.p3, ex.p2), (ex.p1, ex.p4)];
+    let pairs = [
+        (ex.p1, ex.p2),
+        (ex.p2, ex.p4),
+        (ex.p3, ex.p2),
+        (ex.p1, ex.p4),
+    ];
     for hour in [6u32, 9, 12, 15, 18, 21] {
         for (a, b) in pairs {
             let q = Query::new(a, b, TimeOfDay::hm(hour, 0));

@@ -60,7 +60,10 @@ fn noon_routing_works_and_validates_at_scale() {
             assert!(p.length >= gq.realised_distance - 1e-6);
         }
     }
-    assert!(found >= 4, "almost all noon queries should route, got {found}/5");
+    assert!(
+        found >= 4,
+        "almost all noon queries should route, got {found}/5"
+    );
 }
 
 #[test]
@@ -68,8 +71,16 @@ fn cross_floor_routes_use_stairs() {
     let graph = paper_graph(8);
     let space = graph.space();
     // A point on floor 0 and one directly above on floor 4.
-    let f0 = space.partitions().iter().find(|p| p.name == "F0/hall(0,0)").unwrap();
-    let f4 = space.partitions().iter().find(|p| p.name == "F4/hall(0,0)").unwrap();
+    let f0 = space
+        .partitions()
+        .iter()
+        .find(|p| p.name == "F0/hall(0,0)")
+        .unwrap();
+    let f4 = space
+        .partitions()
+        .iter()
+        .find(|p| p.name == "F4/hall(0,0)")
+        .unwrap();
     let a = IndoorPoint::new(f0.id, f0.polygon.as_ref().unwrap().centroid());
     let b = IndoorPoint::new(f4.id, f4.polygon.as_ref().unwrap().centroid());
     let syn = SynEngine::new(graph.clone(), ItspqConfig::default());
@@ -101,8 +112,16 @@ fn night_shop_queries_fail_fast() {
     let space = graph.space();
     let syn = SynEngine::new(graph.clone(), ItspqConfig::default());
     // Two shops on different floors: both closed at 2:00.
-    let s1 = space.partitions().iter().find(|p| p.name == "F0/shop(0,0)#0").unwrap();
-    let s2 = space.partitions().iter().find(|p| p.name == "F4/shop(2,2)#3").unwrap();
+    let s1 = space
+        .partitions()
+        .iter()
+        .find(|p| p.name == "F0/shop(0,0)#0")
+        .unwrap();
+    let s2 = space
+        .partitions()
+        .iter()
+        .find(|p| p.name == "F4/shop(2,2)#3")
+        .unwrap();
     let a = IndoorPoint::new(s1.id, s1.polygon.as_ref().unwrap().centroid());
     let b = IndoorPoint::new(s2.id, s2.polygon.as_ref().unwrap().centroid());
     let q = Query::new(a, b, TimeOfDay::hm(2, 0));
@@ -120,14 +139,25 @@ fn night_shop_queries_fail_fast() {
 fn hallway_to_hallway_routes_exist_even_at_night() {
     let graph = paper_graph(8);
     let space = graph.space();
-    let h1 = space.partitions().iter().find(|p| p.name == "F0/hall(0,0)").unwrap();
-    let h2 = space.partitions().iter().find(|p| p.name == "F0/hall(3,3)").unwrap();
+    let h1 = space
+        .partitions()
+        .iter()
+        .find(|p| p.name == "F0/hall(0,0)")
+        .unwrap();
+    let h2 = space
+        .partitions()
+        .iter()
+        .find(|p| p.name == "F0/hall(3,3)")
+        .unwrap();
     let a = IndoorPoint::new(h1.id, h1.polygon.as_ref().unwrap().centroid());
     let b = IndoorPoint::new(h2.id, h2.polygon.as_ref().unwrap().centroid());
     let syn = SynEngine::new(graph.clone(), ItspqConfig::default());
     for hour in [2u32, 12, 23] {
         let q = Query::new(a, b, TimeOfDay::hm(hour, 0));
-        let path = syn.query(&q).path.unwrap_or_else(|| panic!("hallways open at {hour}:00"));
+        let path = syn
+            .query(&q)
+            .path
+            .unwrap_or_else(|| panic!("hallways open at {hour}:00"));
         validate_path(space, &path, q.time, WALKING_SPEED).unwrap();
     }
 }
@@ -199,7 +229,10 @@ fn serde_round_trip_of_generated_venue() {
     // And the restored venue answers queries identically.
     let g1 = ItGraph::new(space);
     let g2 = ItGraph::new(back);
-    let queries = generate_queries(&g1, &QueryGenConfig::default().with_count(2).with_delta(600.0));
+    let queries = generate_queries(
+        &g1,
+        &QueryGenConfig::default().with_count(2).with_delta(600.0),
+    );
     let e1 = SynEngine::new(g1, ItspqConfig::default());
     let e2 = SynEngine::new(g2, ItspqConfig::default());
     for gq in &queries {
