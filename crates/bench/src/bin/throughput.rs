@@ -1,0 +1,59 @@
+//! Multi-threaded throughput on one shared venue: queries/sec vs worker
+//! threads (1–8) for a [`itspq_core::VenueServer`] over the synthetic mall.
+//!
+//! `--quick` shrinks the venue to a single floor and the batch to 64 queries
+//! for CI; the default is the paper's five-floor mall with a 256-query batch
+//! mixing departure times across the day (so several reduced-graph views are
+//! in play, as in production traffic).
+
+use indoor_synthetic::MallConfig;
+use indoor_time::TimeOfDay;
+use itspq_bench::{concurrency, Workload};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (workload, per_time) = if quick {
+        (Workload::with_mall(MallConfig::single_floor(), 8), 16)
+    } else {
+        (Workload::paper(8), 64)
+    };
+    let delta = if quick { 600.0 } else { 1500.0 };
+
+    // Traffic mix: morning opening, noon default, evening, late night.
+    let mut queries = Vec::new();
+    for (h, m) in [(8, 50), (12, 0), (19, 30), (22, 40)] {
+        queries.extend(workload.queries(delta, TimeOfDay::hm(h, m), per_time));
+    }
+
+    let stats = workload.graph.space().stats();
+    println!(
+        "venue: {} partitions, {} doors, {} floors; batch: {} queries, |T| = {}",
+        stats.partitions,
+        stats.doors,
+        stats.floors,
+        queries.len(),
+        workload.t_size
+    );
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("host parallelism: {host_cores}");
+
+    let repeats = if quick { 2 } else { 5 };
+    let points = concurrency::throughput_sweep(&workload.graph, &queries, &[1, 2, 4, 8], repeats);
+    print!("{}", concurrency::table(&points));
+
+    if let Some(p4) = points.iter().find(|p| p.workers == 4) {
+        println!(
+            "4-worker speedup over single-thread: {:.2}x{}",
+            p4.speedup,
+            if host_cores < 4 {
+                " (host has fewer than 4 cores; expect ~1x here, >1.5x on multicore)"
+            } else {
+                ""
+            }
+        );
+    }
+
+    let path = concurrency::write_csv(&points, std::path::Path::new("results"))
+        .expect("write throughput csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,151 @@
+//! Multi-threaded throughput measurement: queries/sec vs worker threads on
+//! one `Arc`-shared venue.
+//!
+//! Each sweep point builds a fresh [`VenueServer`] over the same shared
+//! graph, warms its reduced-graph cache (so the sweep measures steady-state
+//! query throughput, not one-off `Graph_Update` construction), runs one
+//! untimed batch, then times `repeats` batches and reports queries/sec plus
+//! the speedup over the sweep's first point — put `1` first in
+//! `worker_counts` to make that column "vs single-thread".
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use itspq_core::{ItGraph, Query, VenueServer};
+
+/// One measured (worker count → throughput) point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputPoint {
+    /// Worker threads used by the server.
+    pub workers: usize,
+    /// Queries per batch.
+    pub batch_size: usize,
+    /// Mean wall-clock seconds per batch.
+    pub batch_secs: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Throughput relative to the sweep's first point.
+    pub speedup: f64,
+}
+
+/// Sweeps `worker_counts`, returning one [`ThroughputPoint`] per count.
+///
+/// Answers are independent of the worker count (see
+/// [`VenueServer::query_batch`]); the sweep asserts that invariant on the
+/// warm-up batch of every point against the first point's answers.
+#[must_use]
+pub fn throughput_sweep(
+    graph: &Arc<ItGraph>,
+    queries: &[Query],
+    worker_counts: &[usize],
+    repeats: usize,
+) -> Vec<ThroughputPoint> {
+    let repeats = repeats.max(1);
+    let mut points: Vec<ThroughputPoint> = Vec::with_capacity(worker_counts.len());
+    let mut reference: Option<Vec<Option<f64>>> = None;
+    for &workers in worker_counts {
+        let server = VenueServer::new(Arc::clone(graph)).with_workers(workers);
+        server.warm();
+        let answers = server.query_batch(queries); // untimed warm-up
+        let lengths: Vec<Option<f64>> = answers
+            .iter()
+            .map(|r| r.path.as_ref().map(|p| p.length))
+            .collect();
+        match &reference {
+            None => reference = Some(lengths),
+            Some(r) => assert_eq!(
+                r, &lengths,
+                "answers must not depend on the worker count ({workers} workers)"
+            ),
+        }
+
+        let start = Instant::now();
+        for _ in 0..repeats {
+            std::hint::black_box(server.query_batch(std::hint::black_box(queries)));
+        }
+        let batch_secs = start.elapsed().as_secs_f64() / repeats as f64;
+        let qps = if batch_secs > 0.0 {
+            queries.len() as f64 / batch_secs
+        } else {
+            f64::INFINITY
+        };
+        let speedup = points.first().map_or(1.0, |base| qps / base.qps);
+        points.push(ThroughputPoint {
+            workers,
+            batch_size: queries.len(),
+            batch_secs,
+            qps,
+            speedup,
+        });
+    }
+    points
+}
+
+/// Renders an aligned text table of a sweep.
+#[must_use]
+pub fn table(points: &[ThroughputPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>12} {:>12} {:>9}",
+        "workers", "batch", "batch_ms", "queries/s", "speedup"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>10} {:>12.2} {:>12.0} {:>8.2}x",
+            p.workers,
+            p.batch_size,
+            p.batch_secs * 1e3,
+            p.qps,
+            p.speedup
+        );
+    }
+    out
+}
+
+/// Writes a sweep as `throughput.csv` in `dir`.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_csv(points: &[ThroughputPoint], dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("throughput.csv");
+    let mut out = String::from("workers,batch_size,batch_secs,qps,speedup\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{},{:.6},{:.1},{:.3}",
+            p.workers, p.batch_size, p.batch_secs, p.qps, p.speedup
+        );
+    }
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use indoor_synthetic::MallConfig;
+    use indoor_time::TimeOfDay;
+
+    #[test]
+    fn sweep_reports_consistent_points() {
+        let w = Workload::with_mall(MallConfig::single_floor(), 4);
+        let mut queries = w.queries(600.0, TimeOfDay::hm(12, 0), 3);
+        queries.extend(w.queries(600.0, TimeOfDay::hm(9, 30), 3));
+        let points = throughput_sweep(&w.graph, &queries, &[1, 2], 1);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].workers, 1);
+        assert!((points[0].speedup - 1.0).abs() < 1e-12);
+        for p in &points {
+            assert_eq!(p.batch_size, queries.len());
+            assert!(p.qps > 0.0);
+        }
+        let rendered = table(&points);
+        assert!(rendered.contains("queries/s"));
+    }
+}

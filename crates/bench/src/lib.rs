@@ -9,6 +9,7 @@
 //! | Figure 6 | `fig6` | search time vs `t ∈ {0:00, 2:00, …, 22:00}` |
 //! | Figure 7 | `fig7` | memory cost (KB) vs `t` |
 //! | Tables I–II | `exp_all` | prints the setup tables and runs every figure |
+//! | (beyond the paper) | `throughput` | queries/sec vs worker threads on one shared venue |
 //!
 //! Binaries print aligned tables and write `results/figN.csv`. The Criterion
 //! suite (`cargo bench`) covers the same sweeps plus ablations
@@ -16,6 +17,7 @@
 //! graphs, construction costs).
 
 pub mod alloc_track;
+pub mod concurrency;
 pub mod figures;
 pub mod params;
 pub mod runner;

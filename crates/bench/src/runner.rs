@@ -1,5 +1,6 @@
 //! Workload construction and timed measurement.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use indoor_synthetic::{build_mall, HoursConfig, MallConfig, QueryGenConfig, ShopHours};
@@ -30,8 +31,9 @@ impl MethodKind {
 
 /// A built venue + graph for one `|T|` setting.
 pub struct Workload {
-    /// The IT-Graph over the generated mall.
-    pub graph: ItGraph,
+    /// The IT-Graph over the generated mall, `Arc`-shared so every engine
+    /// and server measured against it references one venue allocation.
+    pub graph: Arc<ItGraph>,
     /// The sampled checkpoint set.
     pub hours: ShopHours,
     /// `|T|` used to build it.
@@ -51,7 +53,7 @@ impl Workload {
         let hours = ShopHours::sample(&HoursConfig::default().with_t_size(t_size));
         let space = build_mall(&mall, &hours);
         Workload {
-            graph: ItGraph::new(space),
+            graph: ItGraph::shared(space),
             hours,
             t_size,
         }

@@ -1,8 +1,43 @@
 //! Method ITG/A: Algorithm 1 + the asynchronous check of Algorithm 4 over the
 //! reduced time-dependent graphs of Algorithm 3.
+//!
+//! ITG/A trades the per-relaxation ATI lookups of ITG/S for **reduced
+//! IT-Graphs**: per checkpoint interval, a view of the topology with every
+//! closed door deleted, so within an interval a door's usability is a
+//! constant-time bitset probe. The views are cached behind a
+//! [`parking_lot::RwLock`] keyed by interval index — the shared structure a
+//! [`crate::server::VenueServer`] amortises across worker threads: reads
+//! (cache hits) take the shared lock, and a miss builds the interval's view
+//! exactly once per engine no matter how many threads miss simultaneously
+//! (a per-interval `OnceLock` slot; the build runs outside the map lock, so
+//! it never stalls traffic on other intervals).
+//!
+//! The engine holds its graph as an `Arc<ItGraph>` and is `Sync`: one
+//! instance can answer queries from many threads concurrently.
+//!
+//! # Example
+//!
+//! The paper's Example 1 through ITG/A: same answers as ITG/S, plus a warm
+//! reduced-graph cache after the first query.
+//!
+//! ```
+//! use indoor_space::paper_example;
+//! use indoor_time::TimeOfDay;
+//! use itspq_core::{AsynEngine, ItGraph, ItspqConfig, Query};
+//!
+//! let ex = paper_example::build();
+//! let engine = AsynEngine::new(ItGraph::new(ex.space.clone()), ItspqConfig::default());
+//!
+//! let morning = engine.query(&Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0)));
+//! assert!((morning.path.expect("feasible at 9:00").length - 12.0).abs() < 1e-9);
+//! assert!(engine.cached_views() >= 1); // Graph_Update ran and was cached
+//!
+//! let night = engine.query(&Query::new(ex.p3, ex.p4, TimeOfDay::hm(23, 30)));
+//! assert!(night.path.is_none());
+//! ```
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use indoor_space::{DoorId, PartitionId};
 use indoor_time::{Timestamp, Velocity};
@@ -22,18 +57,25 @@ use crate::{AsynMode, ItGraph, ItspqConfig, Query, QueryResult, ReducedGraph, Se
 /// Reduced graphs are cached per checkpoint interval (the asynchronous
 /// maintenance an online deployment would perform once per checkpoint);
 /// set [`ItspqConfig::cache_views`] to `false` to rebuild on every request.
+/// One cache slot: a view built at most once, by whichever thread first
+/// touches its interval. The slot is created under the map's write lock, but
+/// the (comparatively expensive) `ReducedGraph::build` runs outside it, so a
+/// miss on one interval never blocks hits — or builds — on others.
+type ViewSlot = Arc<OnceLock<Arc<ReducedGraph>>>;
+
 pub struct AsynEngine {
-    graph: ItGraph,
+    graph: Arc<ItGraph>,
     config: ItspqConfig,
-    cache: RwLock<HashMap<usize, Arc<ReducedGraph>>>,
+    cache: RwLock<HashMap<usize, ViewSlot>>,
 }
 
 impl AsynEngine {
-    /// Creates the engine over a graph.
+    /// Creates the engine over a graph. Accepts an `Arc<ItGraph>` (shared
+    /// with other engines) or a plain [`ItGraph`] (wrapped on the fly).
     #[must_use]
-    pub fn new(graph: ItGraph, config: ItspqConfig) -> Self {
+    pub fn new(graph: impl Into<Arc<ItGraph>>, config: ItspqConfig) -> Self {
         AsynEngine {
-            graph,
+            graph: graph.into(),
             config,
             cache: RwLock::new(HashMap::new()),
         }
@@ -45,22 +87,38 @@ impl AsynEngine {
         &self.graph
     }
 
+    /// A shareable handle to the engine's graph.
+    #[must_use]
+    pub fn graph_arc(&self) -> Arc<ItGraph> {
+        Arc::clone(&self.graph)
+    }
+
     /// The engine's configuration.
     #[must_use]
     pub fn config(&self) -> &ItspqConfig {
         &self.config
     }
 
-    /// Number of reduced graphs currently cached.
+    /// Number of reduced graphs currently cached (slots whose view has
+    /// finished building).
     #[must_use]
     pub fn cached_views(&self) -> usize {
-        self.cache.read().len()
+        self.cache
+            .read()
+            .values()
+            .filter(|s| s.get().is_some())
+            .count()
     }
 
     /// Total heap bytes of the cached reduced graphs.
     #[must_use]
     pub fn cache_bytes(&self) -> usize {
-        self.cache.read().values().map(|v| v.heap_bytes()).sum()
+        self.cache
+            .read()
+            .values()
+            .filter_map(|s| s.get())
+            .map(|v| v.heap_bytes())
+            .sum()
     }
 
     /// Precomputes the reduced graph of every checkpoint interval (warm
@@ -80,23 +138,41 @@ impl AsynEngine {
 
     /// `Graph_Update(t, T)` with caching: the reduced view for the checkpoint
     /// interval containing clock time `t`.
+    ///
+    /// With caching on, each interval's view is built **exactly once** per
+    /// engine, even under concurrent misses: threads race for the interval's
+    /// [`ViewSlot`] (a cheap map insertion under the write lock) and
+    /// [`OnceLock::get_or_init`] lets exactly one of them run
+    /// `ReducedGraph::build`, outside the map lock — losers of the race block
+    /// on that slot only, while hits and builds for other intervals proceed.
+    /// `stats.views_built` counts only actual constructions.
     fn view_for(&self, t: indoor_time::TimeOfDay, stats: &mut SearchStats) -> Arc<ReducedGraph> {
         let space = self.graph.space();
+        if !self.config.cache_views {
+            stats.views_built += 1;
+            return Arc::new(ReducedGraph::build(space, t));
+        }
         let idx = space.checkpoints().interval_index(t);
-        if self.config.cache_views {
-            if let Some(v) = self.cache.read().get(&idx) {
-                return Arc::clone(v);
+        // NB: probe and upgrade are separate statements so the read guard is
+        // dropped before the write lock is taken (edition-2021 `if let`
+        // temporaries live through the `else` branch — self-deadlock bait).
+        let probed = self.cache.read().get(&idx).map(Arc::clone);
+        let slot: ViewSlot = match probed {
+            Some(s) => s,
+            None => {
+                let mut cache = self.cache.write();
+                Arc::clone(cache.entry(idx).or_default())
             }
+        };
+        let mut built_here = false;
+        let view = slot.get_or_init(|| {
+            built_here = true;
+            Arc::new(ReducedGraph::build(space, t))
+        });
+        if built_here {
+            stats.views_built += 1;
         }
-        let built = Arc::new(ReducedGraph::build(space, t));
-        stats.views_built += 1;
-        if self.config.cache_views {
-            self.cache
-                .write()
-                .entry(idx)
-                .or_insert_with(|| Arc::clone(&built));
-        }
-        Arc::clone(&built)
+        Arc::clone(view)
     }
 
     /// Answers `ITSPQ(ps, pt, t)`.

@@ -1,4 +1,38 @@
 //! Method ITG/S: Algorithm 1 + the synchronous check of Algorithm 2.
+//!
+//! Every relaxation of the Dijkstra-style expansion projects the arrival time
+//! `t + dist / velocity` at the door being relaxed and looks the door's ATIs
+//! up **synchronously** — no auxiliary structure is maintained, so ITG/S has
+//! zero per-query state beyond the search itself and is the reference answer
+//! the other method (and this repo's concurrent front-end) is checked
+//! against.
+//!
+//! The engine holds its graph as an `Arc<ItGraph>`; constructing one from a
+//! plain [`ItGraph`] wraps it on the fly, while constructing many engines
+//! from one [`ItGraph::shared`] handle shares a single venue allocation.
+//!
+//! # Example
+//!
+//! The paper's Example 1: at 9:00 the (p3, d15, d16, p4) shortcut is rejected
+//! (v15 is private) and the 12 m path through d18 wins; at 23:30 d18 is
+//! closed and no valid route remains.
+//!
+//! ```
+//! use indoor_space::paper_example;
+//! use indoor_time::TimeOfDay;
+//! use itspq_core::{ItGraph, ItspqConfig, Query, SynEngine};
+//!
+//! let ex = paper_example::build();
+//! let engine = SynEngine::new(ItGraph::new(ex.space.clone()), ItspqConfig::default());
+//!
+//! let morning = engine.query(&Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0)));
+//! assert!((morning.path.expect("feasible at 9:00").length - 12.0).abs() < 1e-9);
+//!
+//! let night = engine.query(&Query::new(ex.p3, ex.p4, TimeOfDay::hm(23, 30)));
+//! assert!(night.path.is_none());
+//! ```
+
+use std::sync::Arc;
 
 use indoor_space::{DoorId, IndoorSpace, PartitionId};
 use indoor_time::{Timestamp, Velocity};
@@ -29,23 +63,37 @@ impl TvChecker for SynChecker<'_> {
 
 /// The ITG/S query engine: every encountered door is validated against its
 /// ATIs at the projected arrival time.
+///
+/// Holds the venue as `Arc<ItGraph>`: cloning the engine, or constructing
+/// several engines from one [`ItGraph::shared`] handle, shares a single
+/// immutable graph.
 #[derive(Debug, Clone)]
 pub struct SynEngine {
-    graph: ItGraph,
+    graph: Arc<ItGraph>,
     config: ItspqConfig,
 }
 
 impl SynEngine {
-    /// Creates the engine over a graph.
+    /// Creates the engine over a graph. Accepts an `Arc<ItGraph>` (shared
+    /// with other engines) or a plain [`ItGraph`] (wrapped on the fly).
     #[must_use]
-    pub fn new(graph: ItGraph, config: ItspqConfig) -> Self {
-        SynEngine { graph, config }
+    pub fn new(graph: impl Into<Arc<ItGraph>>, config: ItspqConfig) -> Self {
+        SynEngine {
+            graph: graph.into(),
+            config,
+        }
     }
 
     /// The engine's graph.
     #[must_use]
     pub fn graph(&self) -> &ItGraph {
         &self.graph
+    }
+
+    /// A shareable handle to the engine's graph.
+    #[must_use]
+    pub fn graph_arc(&self) -> Arc<ItGraph> {
+        Arc::clone(&self.graph)
     }
 
     /// The engine's configuration.

@@ -1,4 +1,51 @@
-//! The indoor temporal-variation graph (IT-Graph).
+//! The indoor temporal-variation graph (IT-Graph) and its shared-ownership
+//! model.
+//!
+//! [`ItGraph`] is the paper's `G_IT(V, E, L_V, L_E)`: partitions as vertices
+//! (labelled with partition type and distance matrix), door crossings as
+//! directed edges (labelled with door type and ATIs). It is **immutable after
+//! construction** — every engine, baseline and extension only ever reads it —
+//! which is what makes one venue safely servable to any number of concurrent
+//! queries.
+//!
+//! The ownership rules (see `ARCHITECTURE.md`):
+//!
+//! * build the venue once and wrap it with [`ItGraph::shared`] (or let the
+//!   std `From<ItGraph> for Arc<ItGraph>` conversion do it at an engine
+//!   constructor);
+//! * owners — [`crate::SynEngine`], [`crate::AsynEngine`],
+//!   [`crate::server::VenueServer`] — hold `Arc<ItGraph>`, so handing a graph
+//!   to an engine bumps a reference count instead of copying distance
+//!   matrices;
+//! * algorithms borrow `&ItGraph`; an `Arc<ItGraph>` coerces to `&ItGraph`
+//!   at every such call site.
+//!
+//! # Example
+//!
+//! The paper's Example 1 venue as an IT-Graph, shared by the two engines
+//! without cloning the venue:
+//!
+//! ```
+//! use indoor_space::paper_example;
+//! use indoor_time::TimeOfDay;
+//! use itspq_core::{AsynEngine, ItGraph, ItspqConfig, Query, SynEngine};
+//!
+//! let ex = paper_example::build();
+//! let graph = ItGraph::shared(ex.space.clone()); // Arc<ItGraph>
+//! assert_eq!(graph.vertex_count(), 18);
+//! assert_eq!(graph.door_count(), 21);
+//!
+//! // Both engines reference the same graph allocation.
+//! let syn = SynEngine::new(graph.clone(), ItspqConfig::default());
+//! let asyn = AsynEngine::new(graph.clone(), ItspqConfig::default());
+//! assert!(std::sync::Arc::ptr_eq(&syn.graph_arc(), &asyn.graph_arc()));
+//!
+//! // And both answer Example 1: the 12 m route through d18 at 9:00.
+//! let q = Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0));
+//! let (s, a) = (syn.query(&q), asyn.query(&q));
+//! assert!((s.path.unwrap().length - 12.0).abs() < 1e-9);
+//! assert!((a.path.unwrap().length - 12.0).abs() < 1e-9);
+//! ```
 
 use std::sync::Arc;
 
@@ -38,6 +85,14 @@ impl ItGraph {
         ItGraph {
             space: Arc::new(space),
         }
+    }
+
+    /// Builds the IT-Graph over a venue and wraps it for sharing: the handle
+    /// every engine and [`crate::server::VenueServer`] of the venue should be
+    /// constructed from.
+    #[must_use]
+    pub fn shared(space: IndoorSpace) -> Arc<Self> {
+        Arc::new(Self::new(space))
     }
 
     /// Builds the IT-Graph over an already shared venue.

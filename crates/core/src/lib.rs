@@ -24,7 +24,19 @@
 //! * [`profile`] — departure-time profiles ("when should I leave?"),
 //!   checkpoint-aligned and refined to a chosen resolution;
 //! * [`one_to_many`] — single-source valid-distance maps over all doors and
-//!   partitions (evacuation/coverage analysis).
+//!   partitions (evacuation/coverage analysis);
+//! * [`server`] — [`VenueServer`], the concurrent batched query front-end:
+//!   one `Arc`-shared venue, a worker pool, and the ITG/A reduced-graph
+//!   cache amortised across threads.
+//!
+//! ## Ownership model
+//!
+//! The IT-Graph is immutable after construction and shared by reference
+//! count: build it once with [`ItGraph::shared`] and hand the `Arc<ItGraph>`
+//! to every engine and server (engine constructors also accept a plain
+//! [`ItGraph`] and wrap it on the fly). Algorithms borrow `&ItGraph`. See
+//! `ARCHITECTURE.md` at the repository root for the full data-flow and
+//! contention story.
 //!
 //! ## Faithfulness switches
 //!
@@ -59,16 +71,17 @@
 
 pub mod baselines;
 mod config;
-mod engine_asyn;
-mod engine_syn;
+pub mod engine_asyn;
+pub mod engine_syn;
 mod framework;
-mod graph;
+pub mod graph;
 mod heap;
 pub mod ksp;
 pub mod one_to_many;
 pub mod profile;
 mod query;
 mod reduced;
+pub mod server;
 mod stats;
 mod validate;
 pub mod waiting;
@@ -80,5 +93,6 @@ pub use graph::ItGraph;
 pub use ksp::k_shortest_paths;
 pub use query::{DoorHop, Path, Query, QueryOutcome, QueryResult};
 pub use reduced::ReducedGraph;
+pub use server::{ServeMethod, ServerConfig, VenueServer};
 pub use stats::SearchStats;
 pub use validate::{validate_path, PathViolation};

@@ -1,0 +1,331 @@
+//! The concurrent batched query front-end: one venue, many workers.
+//!
+//! A [`VenueServer`] owns a single `Arc<ItGraph>` and answers
+//! [`Query`] batches on a configurable number of worker threads
+//! ([`ServerConfig::workers`]) via [`VenueServer::query_batch`]. Workers are
+//! plain [`std::thread::scope`] threads pulling query indices off an atomic
+//! counter (dynamic load balancing — an expensive query does not stall the
+//! rest of its chunk), and answers come back in input order.
+//!
+//! What makes this safe and fast is the ownership model of the rest of the
+//! crate: the IT-Graph is immutable and `Arc`-shared, so workers borrow it
+//! freely, and the only mutable shared state is ITG/A's reduced-graph cache
+//! behind a `parking_lot::RwLock` — read-locked on the hot path, write-locked
+//! only the first time a checkpoint interval is seen. Each interval's view is
+//! built exactly once per server, never per worker (see
+//! `AsynEngine::view_for`). Call [`VenueServer::warm`] to precompute every
+//! interval before opening the floodgates.
+//!
+//! By default the server answers with ITG/A in [`AsynMode::Exact`], which is
+//! answer-for-answer identical to ITG/S while sharing the cached reduced
+//! graphs across queries; [`ServeMethod::Syn`] switches to pure ITG/S.
+//!
+//! # Example
+//!
+//! The paper's Example 1 served as a batch:
+//!
+//! ```
+//! use indoor_space::paper_example;
+//! use indoor_time::TimeOfDay;
+//! use itspq_core::server::VenueServer;
+//! use itspq_core::{ItGraph, Query};
+//!
+//! let ex = paper_example::build();
+//! let server = VenueServer::new(ItGraph::shared(ex.space.clone())).with_workers(2);
+//!
+//! let batch = vec![
+//!     Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0)),   // 12 m via d18
+//!     Query::new(ex.p3, ex.p4, TimeOfDay::hm(23, 30)), // no such routes
+//! ];
+//! let answers = server.query_batch(&batch);
+//! assert!((answers[0].path.as_ref().unwrap().length - 12.0).abs() < 1e-9);
+//! assert!(answers[1].path.is_none());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::{AsynEngine, AsynMode, ItGraph, ItspqConfig, Query, QueryResult, SynEngine};
+
+/// Which engine answers the server's queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMethod {
+    /// ITG/S: synchronous ATI checks, no shared state at all.
+    Syn,
+    /// ITG/A: asynchronous checks over the shared reduced-graph cache.
+    Asyn,
+}
+
+/// Tunables of a [`VenueServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads used by [`VenueServer::query_batch`] (at least 1).
+    pub workers: usize,
+    /// Which engine answers queries.
+    pub method: ServeMethod,
+    /// Engine configuration shared by both methods.
+    pub itspq: ItspqConfig,
+}
+
+impl Default for ServerConfig {
+    /// Workers follow the machine (capped at 8); the method is ITG/A in
+    /// [`AsynMode::Exact`] — identical answers to ITG/S, but sharing the
+    /// reduced-graph cache across queries and workers.
+    fn default() -> Self {
+        ServerConfig {
+            workers: default_workers(),
+            method: ServeMethod::Asyn,
+            itspq: ItspqConfig::default().with_asyn_mode(AsynMode::Exact),
+        }
+    }
+}
+
+/// Worker count when none is configured: the machine's available
+/// parallelism, capped at 8.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+/// A shared-venue query server: owns one `Arc<ItGraph>`, shares the ITG/A
+/// reduced-graph cache across worker threads, and answers query batches in
+/// parallel.
+///
+/// The server is `Sync`; `query` and `query_batch` take `&self`, so one
+/// instance can also be driven from externally managed threads.
+#[derive(Debug)]
+pub struct VenueServer {
+    graph: Arc<ItGraph>,
+    syn: SynEngine,
+    asyn: AsynEngine,
+    config: ServerConfig,
+}
+
+impl VenueServer {
+    /// Creates a server with [`ServerConfig::default`].
+    #[must_use]
+    pub fn new(graph: impl Into<Arc<ItGraph>>) -> Self {
+        Self::with_config(graph, ServerConfig::default())
+    }
+
+    /// Creates a server with an explicit configuration.
+    #[must_use]
+    pub fn with_config(graph: impl Into<Arc<ItGraph>>, config: ServerConfig) -> Self {
+        let graph = graph.into();
+        VenueServer {
+            syn: SynEngine::new(Arc::clone(&graph), config.itspq),
+            asyn: AsynEngine::new(Arc::clone(&graph), config.itspq),
+            graph,
+            config,
+        }
+    }
+
+    /// Returns the server with the worker count replaced (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers.max(1);
+        self
+    }
+
+    /// Returns the server with the answering method replaced.
+    #[must_use]
+    pub fn with_method(mut self, method: ServeMethod) -> Self {
+        self.config.method = method;
+        self
+    }
+
+    /// The shared graph.
+    #[must_use]
+    pub fn graph(&self) -> &Arc<ItGraph> {
+        &self.graph
+    }
+
+    /// The server's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Worker threads used per batch.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// Precomputes the reduced graph of every checkpoint interval, so no
+    /// query ever pays the write-lock construction path.
+    pub fn warm(&self) {
+        self.asyn.precompute_all();
+    }
+
+    /// Number of reduced-graph views currently cached.
+    #[must_use]
+    pub fn cached_views(&self) -> usize {
+        self.asyn.cached_views()
+    }
+
+    /// Total heap bytes of the cached reduced-graph views.
+    #[must_use]
+    pub fn cache_bytes(&self) -> usize {
+        self.asyn.cache_bytes()
+    }
+
+    /// Answers a single query with the configured method.
+    #[must_use]
+    pub fn query(&self, query: &Query) -> QueryResult {
+        match self.config.method {
+            ServeMethod::Syn => self.syn.query(query),
+            ServeMethod::Asyn => self.asyn.query(query),
+        }
+    }
+
+    /// Answers a batch of queries on up to [`ServerConfig::workers`] threads,
+    /// returning results in input order.
+    ///
+    /// Workers pull indices off a shared atomic counter, so load balances
+    /// dynamically; per-query results are independent of the worker count and
+    /// of scheduling (the only shared mutable state, the reduced-graph cache,
+    /// affects timing, never answers).
+    #[must_use]
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<QueryResult> {
+        let workers = self.config.workers.clamp(1, queries.len().max(1));
+        if workers == 1 {
+            return queries.iter().map(|q| self.query(q)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, QueryResult)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(q) = queries.get(i) else { break };
+                            local.push((i, self.query(q)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("query worker panicked"))
+                .collect()
+        });
+        indexed.sort_unstable_by_key(|&(i, _)| i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_space::paper_example;
+    use indoor_time::TimeOfDay;
+
+    fn example_batch(ex: &paper_example::PaperExample) -> Vec<Query> {
+        let mut batch = Vec::new();
+        for (h, m) in [(9, 0), (12, 0), (15, 59), (22, 0), (23, 30), (5, 30)] {
+            for (s, t) in [(ex.p3, ex.p4), (ex.p1, ex.p2), (ex.p2, ex.p3)] {
+                batch.push(Query::new(s, t, TimeOfDay::hm(h, m)));
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn server_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VenueServer>();
+    }
+
+    #[test]
+    fn batch_matches_sequential_itg_s() {
+        let ex = paper_example::build();
+        let graph = ItGraph::shared(ex.space.clone());
+        let server = VenueServer::new(graph.clone()).with_workers(4);
+        let syn = SynEngine::new(graph, ItspqConfig::default());
+        let batch = example_batch(&ex);
+        let answers = server.query_batch(&batch);
+        assert_eq!(answers.len(), batch.len());
+        for (q, a) in batch.iter().zip(&answers) {
+            let s = syn.query(q);
+            assert_eq!(
+                s.path.as_ref().map(|p| p.doors().collect::<Vec<_>>()),
+                a.path.as_ref().map(|p| p.doors().collect::<Vec<_>>()),
+                "batch answer diverges from ITG/S at {}",
+                q.time
+            );
+        }
+    }
+
+    #[test]
+    fn engines_share_one_graph() {
+        let ex = paper_example::build();
+        let graph = ItGraph::shared(ex.space);
+        let server = VenueServer::new(graph.clone());
+        assert!(Arc::ptr_eq(server.graph(), &graph));
+        assert!(Arc::ptr_eq(&server.syn.graph_arc(), &graph));
+        assert!(Arc::ptr_eq(&server.asyn.graph_arc(), &graph));
+    }
+
+    #[test]
+    fn empty_batch_and_worker_clamping() {
+        let ex = paper_example::build();
+        let server = VenueServer::new(ItGraph::new(ex.space)).with_workers(0);
+        assert_eq!(server.workers(), 1); // clamped
+        assert!(server.query_batch(&[]).is_empty());
+        // More workers than queries is fine too.
+        let server = server.with_workers(16);
+        let one = [Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0))];
+        assert_eq!(server.query_batch(&one).len(), 1);
+    }
+
+    #[test]
+    fn syn_method_answers_identically() {
+        let ex = paper_example::build();
+        let graph = ItGraph::shared(ex.space.clone());
+        let asyn_server = VenueServer::new(graph.clone()).with_workers(3);
+        let syn_server = VenueServer::new(graph)
+            .with_workers(3)
+            .with_method(ServeMethod::Syn);
+        let batch = example_batch(&ex);
+        let a = asyn_server.query_batch(&batch);
+        let s = syn_server.query_batch(&batch);
+        for (x, y) in a.iter().zip(&s) {
+            assert_eq!(
+                x.path.as_ref().map(|p| p.length),
+                y.path.as_ref().map(|p| p.length)
+            );
+        }
+        // Only the asyn method touches the reduced-graph cache.
+        assert!(asyn_server.cached_views() > 0);
+        assert_eq!(syn_server.cached_views(), 0);
+    }
+
+    #[test]
+    fn warm_precomputes_every_interval() {
+        let ex = paper_example::build();
+        let server = VenueServer::new(ItGraph::shared(ex.space.clone()));
+        server.warm();
+        assert_eq!(server.cached_views(), ex.space.checkpoints().len());
+        assert!(server.cache_bytes() > 0);
+        // A warmed server builds nothing during the batch.
+        let answers = server.query_batch(&example_batch(&ex));
+        assert!(answers.iter().all(|r| r.stats.views_built == 0));
+    }
+
+    #[test]
+    fn cold_batch_builds_each_view_once() {
+        let ex = paper_example::build();
+        let server = VenueServer::new(ItGraph::shared(ex.space.clone())).with_workers(4);
+        let answers = server.query_batch(&example_batch(&ex));
+        let built: usize = answers.iter().map(|r| r.stats.views_built).sum();
+        assert_eq!(
+            built,
+            server.cached_views(),
+            "each checkpoint interval must be built exactly once server-wide"
+        );
+    }
+}

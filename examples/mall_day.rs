@@ -19,7 +19,8 @@ fn main() {
     println!("mall: {}", space.stats());
     println!("checkpoints: {}\n", space.checkpoints());
 
-    let graph = ItGraph::new(space);
+    // One Arc-shared graph: both engines reference the same venue.
+    let graph = ItGraph::shared(space);
     let config = ItspqConfig::default();
     let syn = SynEngine::new(graph.clone(), config);
     let asyn = AsynEngine::new(graph.clone(), config);

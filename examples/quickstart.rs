@@ -47,8 +47,10 @@ fn main() {
     let space = b.build().unwrap();
     println!("venue: {}", space.stats());
 
-    // Wrap the venue in the paper's IT-Graph and build the ITG/S engine.
-    let graph = ItGraph::new(space);
+    // Wrap the venue in the paper's IT-Graph — `shared` returns an
+    // `Arc<ItGraph>`, so every engine below references one venue allocation —
+    // and build the ITG/S engine.
+    let graph = ItGraph::shared(space);
     let engine = SynEngine::new(graph.clone(), ItspqConfig::default());
 
     // Query 1: room A -> room B at 10:00 — straightforward.

@@ -11,7 +11,8 @@
 //! * [`space`] — the indoor-space model (partitions, doors, topology,
 //!   distance matrices) and the paper's running example;
 //! * [`core`] — the IT-Graph and the ITSPQ query engines (ITG/S, ITG/A),
-//!   baselines and extensions;
+//!   baselines, extensions and the concurrent
+//!   [`VenueServer`](itspq_core::VenueServer) front-end;
 //! * [`synthetic`] — the paper's synthetic workload (mall floorplans, ATI
 //!   generation, query instances).
 //!
@@ -54,6 +55,6 @@ pub mod prelude {
     };
     pub use itspq_core::{
         AsynEngine, AsynMode, DoorHop, ExpandPolicy, ItGraph, ItspqConfig, Path, Query,
-        QueryOutcome, SearchStats, SynEngine,
+        QueryOutcome, SearchStats, ServeMethod, ServerConfig, SynEngine, VenueServer,
     };
 }

@@ -1,0 +1,143 @@
+//! The concurrent batched front-end on the synthetic mall: worker-pool
+//! answers must be identical to single-threaded ITG/S, answer for answer,
+//! and the shared reduced-graph cache must be populated once per checkpoint
+//! interval — never once per worker.
+
+use std::sync::Arc;
+
+use itspq_repro::core::server::{ServeMethod, VenueServer};
+use itspq_repro::prelude::*;
+use itspq_repro::synthetic::{
+    build_mall, generate_queries, HoursConfig, MallConfig, QueryGenConfig, ShopHours,
+};
+
+fn mall_graph(cfg: MallConfig) -> Arc<ItGraph> {
+    let hours = ShopHours::sample(&HoursConfig::default().with_t_size(8));
+    ItGraph::shared(build_mall(&cfg, &hours))
+}
+
+/// A mixed-time workload: several departure times, some minutes before
+/// checkpoints so walks cross interval boundaries mid-route.
+fn mall_workload(graph: &ItGraph, per_time: usize, delta: f64) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for (i, (h, m)) in [(8, 50), (12, 0), (15, 55), (19, 30), (22, 40)]
+        .into_iter()
+        .enumerate()
+    {
+        queries.extend(
+            generate_queries(
+                graph,
+                &QueryGenConfig::default()
+                    .with_count(per_time)
+                    .with_delta(delta)
+                    .with_time(TimeOfDay::hm(h, m))
+                    .with_seed(40 + i as u64),
+            )
+            .into_iter()
+            .map(|g| g.query),
+        );
+    }
+    queries
+}
+
+#[test]
+fn four_workers_match_sequential_itg_s_on_the_mall() {
+    let graph = mall_graph(MallConfig::paper_default());
+    let queries = mall_workload(&graph, 8, 1500.0);
+    assert_eq!(queries.len(), 40);
+
+    let server = VenueServer::new(graph.clone()).with_workers(4);
+    let batch = server.query_batch(&queries);
+
+    let syn = SynEngine::new(graph.clone(), ItspqConfig::default());
+    let mut found = 0;
+    for (q, a) in queries.iter().zip(&batch) {
+        let s = syn.query(q);
+        assert_eq!(
+            s.path.as_ref().map(|p| p.doors().collect::<Vec<_>>()),
+            a.path.as_ref().map(|p| p.doors().collect::<Vec<_>>()),
+            "batched answer disagrees with ITG/S at {}",
+            q.time
+        );
+        if let (Some(sp), Some(ap)) = (&s.path, &a.path) {
+            assert!((sp.length - ap.length).abs() < 1e-9);
+            found += 1;
+        }
+    }
+    assert!(found > 20, "most mall queries should route, got {found}/40");
+}
+
+#[test]
+fn external_threads_hammering_one_server_agree_with_itg_s() {
+    // Not query_batch: four caller-managed threads all using `query(&self)`
+    // on one shared server, the "many front-end handlers" deployment shape.
+    let graph = mall_graph(MallConfig::single_floor());
+    let queries = mall_workload(&graph, 6, 600.0);
+    let server = VenueServer::new(graph.clone());
+
+    let per_thread: Vec<Vec<Option<f64>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    queries
+                        .iter()
+                        .map(|q| server.query(q).path.map(|p| p.length))
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let syn = SynEngine::new(graph, ItspqConfig::default());
+    let expected: Vec<Option<f64>> = queries
+        .iter()
+        .map(|q| syn.query(q).path.map(|p| p.length))
+        .collect();
+    for lengths in &per_thread {
+        assert_eq!(lengths, &expected);
+    }
+}
+
+#[test]
+fn reduced_graph_cache_is_populated_once_not_per_worker() {
+    let graph = mall_graph(MallConfig::single_floor());
+    let queries = mall_workload(&graph, 6, 600.0);
+    let server = VenueServer::new(graph.clone()).with_workers(4);
+
+    // Cold server: the batch builds each touched interval exactly once,
+    // server-wide, even with four workers missing concurrently.
+    let answers = server.query_batch(&queries);
+    let built: usize = answers.iter().map(|r| r.stats.views_built).sum();
+    assert!(built >= 2, "the mixed-time batch touches several intervals");
+    assert_eq!(
+        built,
+        server.cached_views(),
+        "views built across all workers must equal distinct cached intervals"
+    );
+    assert!(server.cached_views() <= graph.space().checkpoints().len());
+
+    // Warm server: a second pass builds nothing at all.
+    let again = server.query_batch(&queries);
+    assert!(again.iter().all(|r| r.stats.views_built == 0));
+}
+
+#[test]
+fn syn_method_needs_no_cache_and_still_agrees() {
+    let graph = mall_graph(MallConfig::single_floor());
+    let queries = mall_workload(&graph, 4, 600.0);
+    let syn_server = VenueServer::new(graph.clone())
+        .with_workers(4)
+        .with_method(ServeMethod::Syn);
+    let asyn_server = VenueServer::new(graph).with_workers(4);
+    let s = syn_server.query_batch(&queries);
+    let a = asyn_server.query_batch(&queries);
+    for (x, y) in s.iter().zip(&a) {
+        assert_eq!(
+            x.path.as_ref().map(|p| p.length),
+            y.path.as_ref().map(|p| p.length)
+        );
+    }
+    assert_eq!(syn_server.cached_views(), 0);
+    assert!(asyn_server.cached_views() > 0);
+}
