@@ -20,6 +20,16 @@ fn bench_build_mall(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("build_mall", floors), &cfg, |b, cfg| {
             b.iter(|| build_mall(black_box(cfg), &hours));
         });
+        // The geodesic stress case: comb service corridors force real
+        // interior shortest paths in every corridor matrix.
+        let comb = cfg.with_comb_corridors();
+        g.bench_with_input(
+            BenchmarkId::new("build_mall_comb", floors),
+            &comb,
+            |b, cfg| {
+                b.iter(|| build_mall(black_box(cfg), &hours));
+            },
+        );
     }
     g.finish();
 }

@@ -7,8 +7,30 @@
 //! polygon's reflex-relevant vertices; edges join mutually visible nodes;
 //! Dijkstra gives the geodesic.
 //!
+//! Two entry points are provided:
+//!
+//! * [`geodesic_distance`] — the one-shot pairwise query. It rebuilds the
+//!   vertex visibility graph from scratch on every call, which is fine for a
+//!   single lookup but quadratically wasteful when a caller needs distances
+//!   between many points of the *same* polygon (a venue builder computing a
+//!   full door-to-door matrix, say).
+//! * [`GeodesicSolver`] — the amortised form. It computes the vertex-vertex
+//!   visibility graph once (lazily, on the first query that needs it) and
+//!   answers any number of pairwise ([`GeodesicSolver::distance`]) or
+//!   one-to-many ([`GeodesicSolver::distances_from`]) queries against it. A
+//!   one-to-many call runs a single Dijkstra over the cached graph and reads
+//!   off every target, so an all-pairs matrix over `k` points costs `k`
+//!   Dijkstras instead of `k²/2` graph constructions.
+//!
+//! Both forms produce identical distances (the solver replays the same
+//! candidate sums, and `min` over the same set of `f64`s is order
+//! independent); `tests/proptest_geom.rs` pins that equivalence on random
+//! L- and U-shaped polygons.
+//!
 //! Sizes are small (partitions have a handful of vertices), so the O(n³)
 //! visibility graph is perfectly adequate and keeps the code auditable.
+
+use std::cell::OnceCell;
 
 use crate::{Point, Polygon, EPS};
 
@@ -108,6 +130,171 @@ pub fn geodesic_distance(poly: &Polygon, a: Point, b: Point) -> Option<f64> {
     dist[1].is_finite().then_some(dist[1])
 }
 
+/// Reusable geodesic oracle for one polygon: the vertex-vertex visibility
+/// graph is built once and shared by every subsequent query.
+///
+/// Use this instead of [`geodesic_distance`] whenever more than a couple of
+/// distances are needed within the same polygon. The solver is cheap to
+/// create (the visibility graph is built lazily, so convex polygons and
+/// purely-visible query sets never pay for it) and immutable once built, but
+/// not `Sync` — create one per thread when fanning out.
+///
+/// # Example
+///
+/// ```
+/// use indoor_geom::{GeodesicSolver, Point, Polygon};
+///
+/// // 10×10 square minus its top-right 5×5 quadrant.
+/// let l = Polygon::new(vec![
+///     Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(10.0, 5.0),
+///     Point::new(5.0, 5.0), Point::new(5.0, 10.0), Point::new(0.0, 10.0),
+/// ]).unwrap();
+/// let solver = GeodesicSolver::new(&l);
+/// let doors = [Point::new(2.5, 9.0), Point::new(9.0, 2.5), Point::new(1.0, 1.0)];
+/// let from_first = solver.distances_from(doors[0], &doors[1..]);
+/// assert_eq!(from_first.len(), 2);
+/// for (i, d) in from_first.iter().enumerate() {
+///     assert_eq!(*d, indoor_geom::geodesic_distance(&l, doors[0], doors[i + 1]));
+/// }
+/// ```
+#[derive(Debug)]
+pub struct GeodesicSolver<'a> {
+    poly: &'a Polygon,
+    convex: bool,
+    /// Vertex-vertex visibility adjacency `(vertex index, distance)`, built on
+    /// the first query that actually needs a Dijkstra.
+    vis: OnceCell<Vec<Vec<(usize, f64)>>>,
+}
+
+impl<'a> GeodesicSolver<'a> {
+    /// Creates a solver for `poly`. No visibility work happens yet.
+    #[must_use]
+    pub fn new(poly: &'a Polygon) -> Self {
+        GeodesicSolver {
+            poly,
+            convex: poly.is_convex(),
+            vis: OnceCell::new(),
+        }
+    }
+
+    /// The polygon this solver answers queries for.
+    #[must_use]
+    pub fn polygon(&self) -> &Polygon {
+        self.poly
+    }
+
+    /// The cached vertex-vertex visibility adjacency.
+    fn vertex_graph(&self) -> &Vec<Vec<(usize, f64)>> {
+        self.vis.get_or_init(|| {
+            let verts = self.poly.vertices();
+            let n = verts.len();
+            let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if segment_inside(self.poly, verts[i], verts[j]) {
+                        let w = verts[i].distance(verts[j]);
+                        adj[i].push((j, w));
+                        adj[j].push((i, w));
+                    }
+                }
+            }
+            adj
+        })
+    }
+
+    /// Shortest distances from `source` to every polygon vertex, travelling
+    /// only inside the polygon. `dist[i]` is the geodesic distance to vertex
+    /// `i` (infinite when unreachable, which cannot happen for interior
+    /// sources of a simple polygon but is handled defensively).
+    fn vertex_distances(&self, source: Point) -> Vec<f64> {
+        let verts = self.poly.vertices();
+        let n = verts.len();
+        let adj = self.vertex_graph();
+        // Node 0 is the source; nodes 1..=n are the vertices.
+        let mut dist = vec![f64::INFINITY; n + 1];
+        let mut done = vec![false; n + 1];
+        dist[0] = 0.0;
+        // Source → vertex edges, computed fresh per query (vertex indices).
+        let mut src_edges: Vec<(usize, f64)> = Vec::new();
+        for (i, &v) in verts.iter().enumerate() {
+            if segment_inside(self.poly, source, v) {
+                src_edges.push((i, source.distance(v)));
+            }
+        }
+        for _ in 0..=n {
+            let mut u = usize::MAX;
+            let mut best = f64::INFINITY;
+            for (i, &d) in dist.iter().enumerate() {
+                if !done[i] && d < best {
+                    best = d;
+                    u = i;
+                }
+            }
+            if u == usize::MAX {
+                break;
+            }
+            done[u] = true;
+            let edges: &[(usize, f64)] = if u == 0 { &src_edges } else { &adj[u - 1] };
+            for &(v, w) in edges {
+                if dist[u] + w < dist[v + 1] {
+                    dist[v + 1] = dist[u] + w;
+                }
+            }
+        }
+        dist.remove(0);
+        dist
+    }
+
+    /// The geodesic distance from `a` to `b`, or `None` when either endpoint
+    /// lies outside the polygon. Produces the same values as
+    /// [`geodesic_distance`] while reusing the cached visibility graph.
+    #[must_use]
+    pub fn distance(&self, a: Point, b: Point) -> Option<f64> {
+        self.distances_from(a, std::slice::from_ref(&b)).remove(0)
+    }
+
+    /// One-to-many query: geodesic distances from `source` to each target
+    /// (`None` where the source or that target lies outside the polygon).
+    ///
+    /// Runs at most one Dijkstra regardless of the number of targets:
+    /// mutually visible pairs short-circuit to the Euclidean distance, and the
+    /// remaining targets are read off the single source-to-vertices distance
+    /// field.
+    #[must_use]
+    pub fn distances_from(&self, source: Point, targets: &[Point]) -> Vec<Option<f64>> {
+        if !self.poly.contains(source) {
+            return vec![None; targets.len()];
+        }
+        let verts = self.poly.vertices();
+        let mut from_source: Option<Vec<f64>> = None;
+        targets
+            .iter()
+            .map(|&b| {
+                if !self.poly.contains(b) {
+                    return None;
+                }
+                if self.convex || segment_inside(self.poly, source, b) {
+                    return Some(source.distance(b));
+                }
+                let dist = from_source.get_or_insert_with(|| self.vertex_distances(source));
+                // The geodesic bends only at polygon vertices, so the answer
+                // is the best "source field + last hop" combination over the
+                // vertices visible from the target.
+                let mut best = f64::INFINITY;
+                for (i, &v) in verts.iter().enumerate() {
+                    if dist[i].is_finite() && segment_inside(self.poly, v, b) {
+                        let cand = dist[i] + v.distance(b);
+                        if cand < best {
+                            best = cand;
+                        }
+                    }
+                }
+                best.is_finite().then_some(best)
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +386,78 @@ mod tests {
         // vertical travel plus 8 m across.
         assert!(d > 18.0, "geodesic {d} suspiciously short");
         assert!(d < 25.0, "geodesic {d} suspiciously long");
+    }
+
+    #[test]
+    fn solver_matches_pairwise_on_l_shape() {
+        let l = l_shape();
+        let solver = GeodesicSolver::new(&l);
+        let pts = [
+            Point::new(2.5, 9.0),
+            Point::new(9.0, 2.5),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 10.0),
+            Point::new(10.0, 0.0),
+            Point::new(8.0, 8.0), // outside: the removed quadrant
+        ];
+        for &a in &pts {
+            let many = solver.distances_from(a, &pts);
+            assert_eq!(many.len(), pts.len());
+            for (i, &b) in pts.iter().enumerate() {
+                let pairwise = geodesic_distance(&l, a, b);
+                assert_eq!(solver.distance(a, b), pairwise, "{a} → {b}");
+                assert_eq!(many[i], pairwise, "{a} → {b} (one-to-many)");
+            }
+        }
+    }
+
+    #[test]
+    fn solver_matches_pairwise_on_u_shape() {
+        let u = poly(&[
+            (0.0, 0.0),
+            (12.0, 0.0),
+            (12.0, 10.0),
+            (8.0, 10.0),
+            (8.0, 2.0),
+            (4.0, 2.0),
+            (4.0, 10.0),
+            (0.0, 10.0),
+        ]);
+        let solver = GeodesicSolver::new(&u);
+        let pts = [
+            Point::new(2.0, 9.0),
+            Point::new(10.0, 9.0),
+            Point::new(6.0, 1.0),
+            Point::new(1.0, 1.0),
+        ];
+        for &a in &pts {
+            let many = solver.distances_from(a, &pts);
+            for (i, &b) in pts.iter().enumerate() {
+                assert_eq!(many[i], geodesic_distance(&u, a, b), "{a} → {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn solver_convex_never_builds_a_graph() {
+        let sq = poly(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let solver = GeodesicSolver::new(&sq);
+        let d = solver
+            .distance(Point::new(1.0, 1.0), Point::new(9.0, 9.0))
+            .unwrap();
+        assert!((d - (128.0f64).sqrt()).abs() < 1e-9);
+        assert!(solver.vis.get().is_none(), "convex queries stay graph-free");
+    }
+
+    #[test]
+    fn solver_rejects_outside_source() {
+        let l = l_shape();
+        let solver = GeodesicSolver::new(&l);
+        let out = solver.distances_from(
+            Point::new(8.0, 8.0),
+            &[Point::new(1.0, 1.0), Point::new(2.0, 2.0)],
+        );
+        assert_eq!(out, vec![None, None]);
     }
 
     #[test]

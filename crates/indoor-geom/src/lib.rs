@@ -14,7 +14,10 @@
 //!   is built from irregular footprints;
 //! * [`geodesic_distance`] — exact interior shortest-path distance in a
 //!   simple polygon (visibility graph + Dijkstra), used for the distance
-//!   matrices of partitions kept non-convex.
+//!   matrices of partitions kept non-convex;
+//! * [`GeodesicSolver`] — the amortised form of [`geodesic_distance`]: builds
+//!   a polygon's visibility graph once and answers one-to-many queries, which
+//!   is what venue construction uses to fill whole distance matrices.
 //!
 //! All coordinates are metres in a per-floor local frame.
 
@@ -28,7 +31,7 @@ mod segment;
 
 pub use decompose::decompose_rectilinear;
 pub use error::GeomError;
-pub use geodesic::{geodesic_distance, segment_inside};
+pub use geodesic::{geodesic_distance, segment_inside, GeodesicSolver};
 pub use point::{Point, Vector};
 pub use polygon::Polygon;
 pub use rect::Rect;

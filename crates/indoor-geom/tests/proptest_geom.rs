@@ -1,6 +1,8 @@
 //! Property-based tests for the geometry substrate.
 
-use indoor_geom::{decompose_rectilinear, Point, Polygon, Rect, Segment};
+use indoor_geom::{
+    decompose_rectilinear, geodesic_distance, GeodesicSolver, Point, Polygon, Rect, Segment,
+};
 use proptest::prelude::*;
 
 fn arb_point() -> impl Strategy<Value = Point> {
@@ -35,7 +37,88 @@ fn arb_staircase() -> impl Strategy<Value = Polygon> {
     })
 }
 
+/// A random L-shaped polygon: a `w × h` rectangle minus its top-right
+/// `nw × nh` corner (the notch stays strictly inside the rectangle).
+fn arb_l_shape() -> impl Strategy<Value = Polygon> {
+    (20.0f64..100.0, 20.0f64..100.0, 0.2f64..0.8, 0.2f64..0.8).prop_map(|(w, h, fx, fy)| {
+        let (nw, nh) = (w * fx, h * fy);
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(w, 0.0),
+            Point::new(w, h - nh),
+            Point::new(w - nw, h - nh),
+            Point::new(w - nw, h),
+            Point::new(0.0, h),
+        ])
+        .expect("L-shape is simple")
+    })
+}
+
+/// A random U-shaped polygon: a `w × h` rectangle with a slot of width
+/// `sw` cut downward from the top edge to depth `sd`.
+fn arb_u_shape() -> impl Strategy<Value = Polygon> {
+    (30.0f64..120.0, 20.0f64..80.0, 0.2f64..0.5, 0.3f64..0.9).prop_map(|(w, h, fw, fd)| {
+        let sw = w * fw;
+        let sd = h * fd;
+        let sx0 = (w - sw) / 2.0;
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(w, 0.0),
+            Point::new(w, h),
+            Point::new(sx0 + sw, h),
+            Point::new(sx0 + sw, h - sd),
+            Point::new(sx0, h - sd),
+            Point::new(sx0, h),
+            Point::new(0.0, h),
+        ])
+        .expect("U-shape is simple")
+    })
+}
+
+/// Random points, some inside the polygon's bounding box (hence a mix of
+/// interior and exterior samples).
+fn arb_probes(n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.01f64..0.99, 0.01f64..0.99), 2..n)
+}
+
+fn solver_parity(poly: &Polygon, probes: &[(f64, f64)]) -> Result<(), TestCaseError> {
+    let (min, max) = poly.bounding_box();
+    let pts: Vec<Point> = probes
+        .iter()
+        .map(|&(fx, fy)| Point::new(min.x + fx * (max.x - min.x), min.y + fy * (max.y - min.y)))
+        .collect();
+    let solver = GeodesicSolver::new(poly);
+    for &a in &pts {
+        let many = solver.distances_from(a, &pts);
+        for (i, &b) in pts.iter().enumerate() {
+            let pairwise = geodesic_distance(poly, a, b);
+            prop_assert_eq!(
+                many[i],
+                pairwise,
+                "solver disagrees with pairwise for {} → {}",
+                a,
+                b
+            );
+        }
+    }
+    Ok(())
+}
+
 proptest! {
+    /// The amortised solver returns exactly the distances of the pairwise
+    /// oracle on random L-shaped polygons (identical `f64`s, not just close).
+    #[test]
+    fn solver_matches_pairwise_on_l_shapes(poly in arb_l_shape(), probes in arb_probes(8)) {
+        solver_parity(&poly, &probes)?;
+    }
+
+    /// Same parity on random U-shaped polygons, whose slot forces true
+    /// multi-bend geodesics between the two arms.
+    #[test]
+    fn solver_matches_pairwise_on_u_shapes(poly in arb_u_shape(), probes in arb_probes(8)) {
+        solver_parity(&poly, &probes)?;
+    }
+
     /// Distance is a metric (symmetry + triangle inequality + identity).
     #[test]
     fn distance_is_metric(a in arb_point(), b in arb_point(), c in arb_point()) {

@@ -1,8 +1,20 @@
 //! Validated construction of indoor spaces.
+//!
+//! [`VenueBuilder::build`] is the production pipeline: topology is derived
+//! with indexed membership checks, each partition's distance matrix is filled
+//! from a per-polygon [`GeodesicSolver`] answering one-to-many queries, and
+//! the per-partition matrix builds — which are independent of each other —
+//! fan out over [`std::thread::scope`] workers. [`VenueBuilder::build_sequential`]
+//! keeps the naive single-threaded pipeline (one pairwise
+//! [`geodesic_distance`] call per door pair, each rebuilding the polygon's
+//! visibility graph) as the reference: both paths produce identical
+//! [`IndoorSpace`] values, which the test suite asserts, and the
+//! `construction` benchmark measures the gap.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use indoor_geom::{geodesic_distance, Point, Polygon};
+use indoor_geom::{geodesic_distance, GeodesicSolver, Point, Polygon};
 use indoor_time::{AtiList, CheckpointSet};
 
 use crate::{
@@ -73,7 +85,7 @@ impl Connection {
 /// assert_eq!(space.num_partitions(), 2);
 /// assert_eq!(space.d2p(door), vec![room, hall]);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct VenueBuilder {
     partitions: Vec<PartitionRecord>,
     doors: Vec<DoorRecord>,
@@ -187,8 +199,10 @@ impl VenueBuilder {
     /// stairways of the paper's multi-floor venue). Applied symmetrically.
     ///
     /// # Errors
-    /// Rejects unknown ids and invalid distances; door membership is verified
-    /// at [`VenueBuilder::build`] time.
+    /// Rejects unknown ids, self-pairs (`a == b` — the matrix diagonal is
+    /// fixed at zero and an override for it would be silently dropped) and
+    /// invalid distances; door membership is verified at
+    /// [`VenueBuilder::build`] time.
     pub fn set_distance(
         &mut self,
         partition: PartitionId,
@@ -205,6 +219,9 @@ impl VenueBuilder {
         if b.index() >= self.doors.len() {
             return Err(SpaceError::UnknownDoor(b));
         }
+        if a == b {
+            return Err(SpaceError::SelfDistance { partition, door: a });
+        }
         if !dist.is_finite() || dist < 0.0 {
             return Err(SpaceError::InvalidDistance { a, b, value: dist });
         }
@@ -220,10 +237,49 @@ impl VenueBuilder {
     /// Validates the venue and derives topology mappings, distance matrices
     /// and the checkpoint set.
     ///
+    /// This is the production pipeline: geodesic distance matrices reuse one
+    /// [`GeodesicSolver`] per partition polygon (one-to-many queries instead
+    /// of a visibility-graph rebuild per door pair), and the independent
+    /// per-partition matrix builds fan out over [`std::thread::scope`]
+    /// workers. The output is identical — value for value — to
+    /// [`VenueBuilder::build_sequential`].
+    ///
     /// # Errors
     /// Returns the first validation failure (dangling doors, foreign doors in
     /// explicit distances, empty venue …).
     pub fn build(self) -> Result<IndoorSpace, SpaceError> {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        self.assemble(Some(workers))
+    }
+
+    /// Like [`VenueBuilder::build`] with an explicit worker-thread count for
+    /// the distance-matrix fan-out (mainly for tests and benchmarks; `build`
+    /// picks the host parallelism). `workers == 1` runs the fast pipeline
+    /// inline without spawning. The output never depends on the worker count.
+    ///
+    /// # Errors
+    /// Returns the first validation failure, exactly as [`VenueBuilder::build`].
+    pub fn build_with_workers(self, workers: usize) -> Result<IndoorSpace, SpaceError> {
+        self.assemble(Some(workers.max(1)))
+    }
+
+    /// The reference construction pipeline: identical output to
+    /// [`VenueBuilder::build`], computed one partition at a time with one
+    /// pairwise [`geodesic_distance`] call per door pair.
+    ///
+    /// Kept as the parity oracle (the proptests assert both pipelines agree
+    /// exactly) and as the baseline the `construction` benchmark measures
+    /// [`VenueBuilder::build`] against. Prefer [`VenueBuilder::build`].
+    ///
+    /// # Errors
+    /// Returns the first validation failure, exactly as [`VenueBuilder::build`].
+    pub fn build_sequential(self) -> Result<IndoorSpace, SpaceError> {
+        self.assemble(None)
+    }
+
+    /// Shared assembly: `workers` is `None` for the reference pipeline and
+    /// `Some(n)` for the fast pipeline with an `n`-thread matrix fan-out.
+    fn assemble(self, workers: Option<usize>) -> Result<IndoorSpace, SpaceError> {
         if self.partitions.is_empty() {
             return Err(SpaceError::EmptyVenue);
         }
@@ -256,6 +312,8 @@ impl VenueBuilder {
         let mut part_enterable: Vec<Vec<DoorId>> = vec![Vec::new(); n_parts];
         for i in 0..n_doors {
             let door = DoorId::from_index(i);
+            // A door touches at most two partitions, so the duplicate guard
+            // is a two-element scan, not a membership problem.
             let mut seen = Vec::new();
             for &p in door_leaves[i].iter().chain(door_enters[i].iter()) {
                 if !seen.contains(&p) {
@@ -279,19 +337,48 @@ impl VenueBuilder {
             v.dedup();
         }
 
-        // Validate explicit distances against door membership.
+        // Validate explicit distances against door membership. `part_doors`
+        // is sorted, so membership is a binary search rather than a linear
+        // scan per override (door-rich partitions made that quadratic).
         for &(partition, a, b) in self.explicit.keys() {
             let doors = &part_doors[partition.index()];
-            if !doors.contains(&a) {
+            if doors.binary_search(&a).is_err() {
                 return Err(SpaceError::ForeignDoor { partition, door: a });
             }
-            if !doors.contains(&b) {
+            if doors.binary_search(&b).is_err() {
                 return Err(SpaceError::ForeignDoor { partition, door: b });
             }
         }
 
-        // Distance matrices: explicit override, else the distance model.
-        let mut dms = Vec::with_capacity(n_parts);
+        let dms = match workers {
+            Some(w) => self.matrices_parallel(&part_doors, w)?,
+            None => self.matrices_sequential(&part_doors)?,
+        };
+
+        let checkpoints = CheckpointSet::from_atis(self.doors.iter().map(|d| &d.atis));
+
+        Ok(IndoorSpace::from_parts(
+            self.partitions,
+            self.doors,
+            Topology {
+                door_leaves,
+                door_enters,
+                part_doors,
+                part_leaveable,
+                part_enterable,
+            },
+            dms,
+            checkpoints,
+        ))
+    }
+
+    /// Reference distance-matrix pass: per pair, explicit override, else the
+    /// distance model with a from-scratch [`geodesic_distance`] call.
+    fn matrices_sequential(
+        &self,
+        part_doors: &[Vec<DoorId>],
+    ) -> Result<Vec<DistanceMatrix>, SpaceError> {
+        let mut dms = Vec::with_capacity(part_doors.len());
         for (pi, doors) in part_doors.iter().enumerate() {
             let partition = PartitionId::from_index(pi);
             let polygon = self.partitions[pi].polygon.as_ref();
@@ -317,22 +404,103 @@ impl VenueBuilder {
             })?;
             dms.push(dm);
         }
+        Ok(dms)
+    }
 
-        let checkpoints = CheckpointSet::from_atis(self.doors.iter().map(|d| &d.atis));
+    /// One partition's distance matrix via the amortised path: a single
+    /// [`GeodesicSolver`] answers one-to-many queries per source door, and
+    /// explicit overrides are applied pair-wise on top.
+    fn matrix_for(&self, pi: usize, doors: &[DoorId]) -> Result<DistanceMatrix, SpaceError> {
+        let partition = PartitionId::from_index(pi);
+        let polygon = self.partitions[pi].polygon.as_ref();
+        let n = doors.len();
 
-        Ok(IndoorSpace::from_parts(
-            self.partitions,
-            self.doors,
-            Topology {
-                door_leaves,
-                door_enters,
-                part_doors,
-                part_leaveable,
-                part_enterable,
-            },
-            dms,
-            checkpoints,
-        ))
+        // Geodesic rows, computed one-to-many: `geo[i]` holds the distances
+        // from door i to doors i+1..n (the upper triangle the matrix build
+        // asks for). `None` entries fall back to the Euclidean distance,
+        // mirroring `geodesic_distance`'s out-of-polygon contract.
+        let geo: Option<Vec<Vec<Option<f64>>>> = match polygon {
+            Some(poly) if self.distance_model == DistanceModel::Geodesic && n > 1 => {
+                let solver = GeodesicSolver::new(poly);
+                let positions: Vec<Point> = doors
+                    .iter()
+                    .map(|d| self.doors[d.index()].position)
+                    .collect();
+                Some(
+                    (0..n)
+                        .map(|i| solver.distances_from(positions[i], &positions[i + 1..]))
+                        .collect(),
+                )
+            }
+            _ => None,
+        };
+
+        DistanceMatrix::build_indexed(doors.to_vec(), |sorted, i, j| {
+            let (a, b) = (sorted[i], sorted[j]);
+            let key = if a <= b {
+                (partition, a, b)
+            } else {
+                (partition, b, a)
+            };
+            if let Some(&d) = self.explicit.get(&key) {
+                return d;
+            }
+            if let Some(geo) = &geo {
+                // `doors` arrives sorted and deduplicated (it is a
+                // `part_doors` entry), so positions line up with `sorted`.
+                if let Some(d) = geo[i][j - i - 1] {
+                    return d;
+                }
+            }
+            self.doors[a.index()]
+                .position
+                .distance(self.doors[b.index()].position)
+        })
+    }
+
+    /// Fans the independent per-partition matrix builds out over scoped
+    /// worker threads (the same atomic-counter work queue as
+    /// `VenueServer::query_batch`). Results are re-assembled in partition
+    /// order, and the reported error — if any — is the one the sequential
+    /// pass would have hit first, so the two pipelines stay interchangeable.
+    fn matrices_parallel(
+        &self,
+        part_doors: &[Vec<DoorId>],
+        workers: usize,
+    ) -> Result<Vec<DistanceMatrix>, SpaceError> {
+        let n = part_doors.len();
+        let workers = workers.min(n);
+        if workers <= 1 {
+            return (0..n)
+                .map(|pi| self.matrix_for(pi, &part_doors[pi]))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, Result<DistanceMatrix, SpaceError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let pi = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(doors) = part_doors.get(pi) else {
+                                    break;
+                                };
+                                local.push((pi, self.matrix_for(pi, doors)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("matrix worker panicked"))
+                    .collect()
+            });
+        indexed.sort_unstable_by_key(|&(pi, _)| pi);
+        indexed.into_iter().map(|(_, r)| r).collect()
     }
 }
 
@@ -409,12 +577,39 @@ mod tests {
 
     #[test]
     fn invalid_explicit_distance_rejected() {
-        let (mut b, p0, _, d) = two_room_builder();
+        let (mut b, _, _, d) = two_room_builder();
+        let e = b.add_door(
+            "door2",
+            DoorKind::Public,
+            AtiList::always_open(),
+            Point::ORIGIN,
+        );
+        let p = b.add_partition("annex", PartitionKind::Public);
         assert!(matches!(
-            b.set_distance(p0, d, d, -2.0),
+            b.set_distance(p, d, e, -2.0),
             Err(SpaceError::InvalidDistance { .. })
         ));
-        assert!(b.set_distance(p0, d, d, f64::NAN).is_err());
+        assert!(b.set_distance(p, d, e, f64::NAN).is_err());
+        assert!(b.set_distance(p, d, e, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn self_pair_distance_rejected() {
+        // Regression: a (p, d, d, x) override used to be accepted here and
+        // then silently ignored by the matrix build (only i < j pairs consult
+        // the distance function, and the diagonal is pinned at zero).
+        let (mut b, p0, p1, d) = two_room_builder();
+        assert_eq!(
+            b.set_distance(p0, d, d, 7.0).unwrap_err(),
+            SpaceError::SelfDistance {
+                partition: p0,
+                door: d
+            }
+        );
+        // The builder stays usable and the diagonal stays zero.
+        b.connect(d, Connection::TwoWay(p0, p1)).unwrap();
+        let s = b.build().unwrap();
+        assert_eq!(s.door_to_door(p0, d, d), Some(0.0));
     }
 
     #[test]
@@ -531,6 +726,77 @@ mod tests {
             Point::new(2.5, 10.0).distance(corner) + corner.distance(Point::new(10.0, 2.5));
         assert!(geo > euclid + 0.1, "geodesic must exceed the blocked chord");
         assert!((geo - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_and_sequential_pipelines_agree_exactly() {
+        use indoor_geom::Polygon;
+        // A venue that exercises every distance source: a non-convex hallway
+        // (geodesic Dijkstras), convex side rooms (Euclidean short-circuit),
+        // an explicit override, and a door outside its partition's polygon
+        // (Euclidean fallback).
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 5.0),
+            Point::new(5.0, 5.0),
+            Point::new(5.0, 10.0),
+            Point::new(0.0, 10.0),
+        ])
+        .unwrap();
+        let mut b = VenueBuilder::new();
+        b.distance_model(DistanceModel::Geodesic);
+        let hall = b.add_partition_on("L", PartitionKind::Public, crate::FloorId(0), Some(l));
+        let side_a = b.add_partition("a", PartitionKind::Public);
+        let side_b = b.add_partition("b", PartitionKind::Public);
+        let da = b.add_door(
+            "da",
+            DoorKind::Public,
+            AtiList::always_open(),
+            Point::new(2.5, 10.0),
+        );
+        let db = b.add_door(
+            "db",
+            DoorKind::Public,
+            AtiList::always_open(),
+            Point::new(10.0, 2.5),
+        );
+        let dc = b.add_door(
+            "dc",
+            DoorKind::Public,
+            AtiList::hm(&[((9, 0), (18, 0))]),
+            Point::new(1.0, 0.0),
+        );
+        let d_out = b.add_door(
+            "outside",
+            DoorKind::Private,
+            AtiList::always_open(),
+            Point::new(20.0, 20.0), // outside the L: falls back to Euclidean
+        );
+        b.connect(da, Connection::TwoWay(hall, side_a)).unwrap();
+        b.connect(db, Connection::TwoWay(hall, side_b)).unwrap();
+        b.connect(
+            dc,
+            Connection::OneWay {
+                from: hall,
+                to: side_a,
+            },
+        )
+        .unwrap();
+        b.connect(d_out, Connection::Boundary(hall)).unwrap();
+        b.set_distance(hall, da, dc, 42.0).unwrap();
+
+        let fast = b.clone().build().unwrap();
+        let threaded = b.clone().build_with_workers(4).unwrap();
+        let slow = b.build_sequential().unwrap();
+        assert_eq!(fast, slow, "pipelines must produce identical venues");
+        assert_eq!(threaded, slow, "worker count must not influence the output");
+        // And the geodesic really is in play: da↔db bends at (5,5).
+        let corner = Point::new(5.0, 5.0);
+        let expected =
+            Point::new(2.5, 10.0).distance(corner) + corner.distance(Point::new(10.0, 2.5));
+        assert_eq!(fast.door_to_door(hall, da, db), Some(expected));
+        assert_eq!(fast.door_to_door(hall, da, dc), Some(42.0));
     }
 
     #[test]

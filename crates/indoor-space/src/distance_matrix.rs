@@ -18,23 +18,43 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Builds a matrix for `doors` (must be sorted and distinct) using the
-    /// provided distance function.
+    /// Builds a matrix for `doors` (sorted and deduplicated internally) using
+    /// the provided distance function.
     ///
     /// # Errors
     /// Returns [`SpaceError::InvalidDistance`] if the function produces a
     /// negative or non-finite distance.
     pub fn build(
-        mut doors: Vec<DoorId>,
+        doors: Vec<DoorId>,
         mut d: impl FnMut(DoorId, DoorId) -> f64,
+    ) -> Result<Self, SpaceError> {
+        Self::build_indexed(doors, |doors, i, j| d(doors[i], doors[j]))
+    }
+
+    /// Like [`DistanceMatrix::build`], but the distance function receives the
+    /// sorted door slice plus the *positions* of the pair within it. Callers
+    /// that precompute distances row-by-row (the builder's one-to-many
+    /// geodesic path) index straight into their tables instead of re-deriving
+    /// positions from door ids on every pair.
+    ///
+    /// # Errors
+    /// Returns [`SpaceError::InvalidDistance`] if the function produces a
+    /// negative or non-finite distance.
+    pub fn build_indexed(
+        mut doors: Vec<DoorId>,
+        mut d: impl FnMut(&[DoorId], usize, usize) -> f64,
     ) -> Result<Self, SpaceError> {
         doors.sort_unstable();
         doors.dedup();
+        // Dedup can leave excess capacity behind; the matrix is immutable from
+        // here on, so drop it — `heap_bytes` must reflect what is kept alive,
+        // not what construction briefly used.
+        doors.shrink_to_fit();
         let n = doors.len();
         let mut dist = vec![0.0; n * n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let v = d(doors[i], doors[j]);
+                let v = d(&doors, i, j);
                 if !v.is_finite() || v < 0.0 {
                     return Err(SpaceError::InvalidDistance {
                         a: doors[i],
@@ -82,22 +102,37 @@ impl DistanceMatrix {
     }
 
     /// Heap bytes used by this matrix (for the paper's memory-cost metric).
+    ///
+    /// Counts live elements (`len`), not allocation capacity: the metric must
+    /// not be inflated by whatever growth slack the construction path left
+    /// behind. (`build` also shrinks its vectors, so the two views coincide
+    /// for matrices it produced.)
     #[must_use]
     pub fn heap_bytes(&self) -> usize {
-        self.doors.capacity() * std::mem::size_of::<DoorId>()
-            + self.dist.capacity() * std::mem::size_of::<f64>()
+        self.doors.len() * std::mem::size_of::<DoorId>()
+            + self.dist.len() * std::mem::size_of::<f64>()
     }
 
     /// Verifies the triangle inequality within the matrix up to `tol` metres;
     /// returns the first violating triple if any. Geometric venues satisfy
     /// this; explicitly-specified matrices may not, which is worth surfacing.
+    ///
+    /// Only ordered pairs `i < j` with `k ∉ {i, j}` are checked: the matrix is
+    /// symmetric with a zero diagonal, so `j < i` duplicates each check and
+    /// degenerate triples (`k == i`, `k == j`, or `i == j`) reduce to
+    /// `d ≤ d + tol`, which cannot violate. This halves the work on large
+    /// matrices without changing what is detected.
     #[must_use]
     pub fn triangle_violation(&self, tol: f64) -> Option<(DoorId, DoorId, DoorId)> {
         let n = self.doors.len();
         for i in 0..n {
-            for j in 0..n {
+            for j in (i + 1)..n {
+                let direct = self.dist[i * n + j];
                 for k in 0..n {
-                    if self.dist[i * n + j] > self.dist[i * n + k] + self.dist[k * n + j] + tol {
+                    if k == i || k == j {
+                        continue;
+                    }
+                    if direct > self.dist[i * n + k] + self.dist[k * n + j] + tol {
                         return Some((self.doors[i], self.doors[j], self.doors[k]));
                     }
                 }
@@ -177,5 +212,49 @@ mod tests {
     #[test]
     fn heap_bytes_positive() {
         assert!(sample().heap_bytes() >= 3 * 3 * 8);
+    }
+
+    #[test]
+    fn heap_bytes_reports_live_elements_not_capacity() {
+        // A doors vec with huge growth slack: the metric must not see it.
+        let mut doors = Vec::with_capacity(1024);
+        doors.extend([DoorId(0), DoorId(1)]);
+        let dm = DistanceMatrix::build(doors, |_, _| 1.0).unwrap();
+        let expected = 2 * std::mem::size_of::<DoorId>() + 2 * 2 * std::mem::size_of::<f64>();
+        assert_eq!(dm.heap_bytes(), expected);
+        // Dedup shrinks too: 3 entries collapse to 2, capacity slack dropped.
+        let dm = DistanceMatrix::build(vec![DoorId(5), DoorId(1), DoorId(5)], |_, _| 1.0).unwrap();
+        assert_eq!(dm.heap_bytes(), expected);
+    }
+
+    #[test]
+    fn triangle_check_skips_degenerate_triples() {
+        // A matrix whose only "violations" would come from degenerate triples
+        // under a negative tolerance reading: all real triples are fine.
+        let dm = DistanceMatrix::build(vec![DoorId(0), DoorId(1)], |_, _| 3.0).unwrap();
+        assert_eq!(dm.triangle_violation(0.0), None);
+        // Violations are still found, and the witness names the short-cut
+        // pair (i, j) plus the intermediate k that exposes it.
+        let bad = DistanceMatrix::build(vec![DoorId(0), DoorId(1), DoorId(2)], |a, b| {
+            if (a.0, b.0) == (0, 2) || (a.0, b.0) == (2, 0) {
+                10.0
+            } else {
+                1.0
+            }
+        })
+        .unwrap();
+        let (i, j, k) = bad.triangle_violation(1e-9).unwrap();
+        assert_eq!((i, j, k), (DoorId(0), DoorId(2), DoorId(1)));
+    }
+
+    #[test]
+    fn build_indexed_matches_build() {
+        let by_id = sample();
+        let by_index = DistanceMatrix::build_indexed(
+            vec![DoorId(21), DoorId(3), DoorId(17)],
+            |doors, i, j| by_id.distance(doors[i], doors[j]).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(by_id, by_index);
     }
 }

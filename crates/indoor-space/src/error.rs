@@ -28,6 +28,15 @@ pub enum SpaceError {
         /// Offending value.
         value: f64,
     },
+    /// An explicit distance override paired a door with itself. The diagonal
+    /// of every distance matrix is fixed at zero, so such an override would be
+    /// silently ignored by construction — reject it loudly instead.
+    SelfDistance {
+        /// The partition whose matrix the override targeted.
+        partition: PartitionId,
+        /// The door paired with itself.
+        door: DoorId,
+    },
     /// An explicit distance references a door that is not on the partition.
     ForeignDoor {
         /// The partition whose matrix was being built.
@@ -59,6 +68,13 @@ impl fmt::Display for SpaceError {
             SpaceError::InvalidDistance { a, b, value } => {
                 write!(f, "invalid distance {value} between {a} and {b}")
             }
+            SpaceError::SelfDistance { partition, door } => {
+                write!(
+                    f,
+                    "distance override pairs door {door} with itself in partition {partition} \
+                     (the matrix diagonal is fixed at zero)"
+                )
+            }
             SpaceError::ForeignDoor { partition, door } => {
                 write!(f, "door {door} does not belong to partition {partition}")
             }
@@ -87,5 +103,11 @@ mod tests {
         }
         .to_string()
         .contains("belong"));
+        assert!(SpaceError::SelfDistance {
+            partition: PartitionId(1),
+            door: DoorId(2)
+        }
+        .to_string()
+        .contains("itself"));
     }
 }

@@ -1,0 +1,125 @@
+//! Property-based parity of the two construction pipelines.
+//!
+//! `VenueBuilder::build` (indexed lookups, per-polygon `GeodesicSolver`,
+//! parallel matrix fan-out) must produce *exactly* the same `IndoorSpace` —
+//! topology maps, every distance matrix, checkpoints — as
+//! `VenueBuilder::build_sequential` (per-pair `geodesic_distance`, one
+//! partition at a time), on venues whose partitions carry random L- and
+//! U-shaped polygons.
+
+use indoor_geom::{Point, Polygon};
+use indoor_space::{Connection, DistanceModel, DoorKind, PartitionKind, VenueBuilder};
+use indoor_time::AtiList;
+use proptest::prelude::*;
+
+/// Parameters of one random non-convex partition polygon.
+#[derive(Debug, Clone)]
+struct ShapeSpec {
+    /// U-shape when true, L-shape otherwise.
+    u_shape: bool,
+    w: f64,
+    h: f64,
+    fa: f64,
+    fb: f64,
+    /// Door positions as bounding-box fractions (a mix of interior,
+    /// boundary-adjacent and outside-the-polygon samples).
+    doors: Vec<(f64, f64)>,
+}
+
+fn shape_polygon(s: &ShapeSpec) -> Polygon {
+    if s.u_shape {
+        let sw = s.w * (0.2 + 0.3 * s.fa);
+        let sd = s.h * (0.3 + 0.6 * s.fb);
+        let sx0 = (s.w - sw) / 2.0;
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(s.w, 0.0),
+            Point::new(s.w, s.h),
+            Point::new(sx0 + sw, s.h),
+            Point::new(sx0 + sw, s.h - sd),
+            Point::new(sx0, s.h - sd),
+            Point::new(sx0, s.h),
+            Point::new(0.0, s.h),
+        ])
+        .expect("U-shape is simple")
+    } else {
+        let (nw, nh) = (s.w * (0.2 + 0.6 * s.fa), s.h * (0.2 + 0.6 * s.fb));
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(s.w, 0.0),
+            Point::new(s.w, s.h - nh),
+            Point::new(s.w - nw, s.h - nh),
+            Point::new(s.w - nw, s.h),
+            Point::new(0.0, s.h),
+        ])
+        .expect("L-shape is simple")
+    }
+}
+
+fn arb_shape() -> impl Strategy<Value = ShapeSpec> {
+    (
+        any::<bool>(),
+        20.0f64..80.0,
+        20.0f64..80.0,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        prop::collection::vec((0.01f64..0.99, 0.01f64..0.99), 2..7),
+    )
+        .prop_map(|(u_shape, w, h, fa, fb, doors)| ShapeSpec {
+            u_shape,
+            w,
+            h,
+            fa,
+            fb,
+            doors,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fast and sequential pipelines agree exactly on random multi-partition
+    /// geodesic venues, including explicit overrides.
+    #[test]
+    fn pipelines_agree_on_random_venues(
+        shapes in prop::collection::vec(arb_shape(), 1..4),
+        override_dist in 1.0f64..100.0,
+    ) {
+        let mut b = VenueBuilder::new();
+        b.distance_model(DistanceModel::Geodesic);
+        let mut overridable = None;
+        for (si, s) in shapes.iter().enumerate() {
+            let poly = shape_polygon(s);
+            let hall = b.add_partition_on(
+                &format!("hall{si}"),
+                PartitionKind::Public,
+                indoor_space::FloorId(0),
+                Some(poly.clone()),
+            );
+            let mut prev = None;
+            for (di, &(fx, fy)) in s.doors.iter().enumerate() {
+                let pos = Point::new(fx * s.w, fy * s.h);
+                let room = b.add_partition(&format!("room{si}.{di}"), PartitionKind::Public);
+                let door = b.add_door(
+                    &format!("d{si}.{di}"),
+                    DoorKind::Public,
+                    AtiList::hm(&[((8, 0), (20, 0))]),
+                    pos,
+                );
+                b.connect(door, Connection::TwoWay(hall, room)).unwrap();
+                if let Some(p) = prev {
+                    if di % 2 == 0 {
+                        b.set_distance(hall, p, door, override_dist).unwrap();
+                    }
+                }
+                prev = Some(door);
+            }
+            overridable.get_or_insert(hall);
+        }
+        let fast = b.clone().build().unwrap();
+        let threaded = b.clone().build_with_workers(4).unwrap();
+        let slow = b.build_sequential().unwrap();
+        prop_assert_eq!(&fast, &slow, "fast pipeline diverged from reference");
+        prop_assert_eq!(&threaded, &slow, "output depends on worker count");
+    }
+}

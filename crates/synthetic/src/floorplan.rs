@@ -23,15 +23,31 @@
 //! sampled checkpoint set `T` (see [`crate::ShopHours`]); hallway, lobby and
 //! stair doors are always open, roof doors never.
 
-use indoor_geom::{Point, Rect};
+use indoor_geom::{Point, Polygon, Rect};
 use indoor_space::{
-    Connection, DoorId, DoorKind, FloorId, IndoorSpace, PartitionId, PartitionKind, VenueBuilder,
+    Connection, DistanceModel, DoorId, DoorKind, FloorId, IndoorSpace, PartitionId, PartitionKind,
+    VenueBuilder,
 };
 use indoor_time::AtiList;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
 use crate::ShopHours;
+
+/// Footprint of the private service corridors inside each inner block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorridorShape {
+    /// A plain rectangular band between the two shop rows (convex, so every
+    /// door-to-door distance is a straight line). The original layout.
+    #[default]
+    Band,
+    /// A comb: a narrow spine with one stub corridor per shop back door.
+    /// Doors on different stubs cannot see each other, so the venue builds
+    /// with [`DistanceModel::Geodesic`] and every corridor matrix requires
+    /// real interior shortest paths — the construction-cost stress case used
+    /// by the `construction` benchmark.
+    Comb,
+}
 
 /// Parameters of the mall generator.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +68,8 @@ pub struct MallConfig {
     pub outer_shops: usize,
     /// Fraction of shop doors that carry temporal variation (default 1.0).
     pub variation_ratio: f64,
+    /// Service-corridor footprint (default [`CorridorShape::Band`]).
+    pub corridor_shape: CorridorShape,
 }
 
 impl MallConfig {
@@ -67,6 +85,7 @@ impl MallConfig {
             inner_shops: 80,
             outer_shops: 8,
             variation_ratio: 1.0,
+            corridor_shape: CorridorShape::Band,
         }
     }
 
@@ -93,6 +112,7 @@ impl MallConfig {
             inner_shops: 4,
             outer_shops: 0,
             variation_ratio: 1.0,
+            corridor_shape: CorridorShape::Band,
         }
     }
 
@@ -100,6 +120,14 @@ impl MallConfig {
     #[must_use]
     pub fn with_floors(mut self, floors: u16) -> Self {
         self.floors = floors;
+        self
+    }
+
+    /// Returns a copy with comb-shaped service corridors (the geodesic
+    /// construction stress case; partition and door counts are unchanged).
+    #[must_use]
+    pub fn with_comb_corridors(mut self) -> Self {
+        self.corridor_shape = CorridorShape::Comb;
         self
     }
 
@@ -134,12 +162,30 @@ struct FloorParts {
 
 /// Builds the mall. ATIs for varying doors are drawn from `hours` with the
 /// deterministic RNG seeded by the hours configuration.
+///
+/// Equivalent to `mall_builder(cfg, hours).build()`; use [`mall_builder`]
+/// directly to choose a construction pipeline (the parity tests build the
+/// same wiring through both `build` and `build_sequential`).
+#[must_use]
+pub fn build_mall(cfg: &MallConfig, hours: &ShopHours) -> IndoorSpace {
+    mall_builder(cfg, hours)
+        .build()
+        .expect("generated mall is a valid venue")
+}
+
+/// Wires the whole mall into a [`VenueBuilder`] without building it, so
+/// callers can pick the construction pipeline (or keep mutating the venue).
 #[must_use]
 #[allow(clippy::too_many_lines)]
-pub fn build_mall(cfg: &MallConfig, hours: &ShopHours) -> IndoorSpace {
+pub fn mall_builder(cfg: &MallConfig, hours: &ShopHours) -> VenueBuilder {
     assert!(cfg.grid >= 2, "need at least a 2×2 hallway grid");
     assert!(cfg.floors >= 1, "need at least one floor");
     let mut b = VenueBuilder::new();
+    if cfg.corridor_shape == CorridorShape::Comb {
+        // Comb corridors are non-convex: straight-line distances through the
+        // walls between stubs would underestimate every back-of-house walk.
+        b.distance_model(DistanceModel::Geodesic);
+    }
     let mut rng = hours.door_rng();
     let half_w = cfg.corridor_width / 2.0;
 
@@ -185,7 +231,53 @@ pub fn build_mall(cfg: &MallConfig, hours: &ShopHours) -> IndoorSpace {
             up_below[li] = Some(up);
         }
     }
-    b.build().expect("generated mall is a valid venue")
+    b
+}
+
+/// The comb-shaped service corridor of one inner block: a horizontal spine
+/// across the middle of the back-of-house band (`y_lo..y_hi`), with one
+/// narrow stub per shop back door reaching the band edge the door sits on
+/// (south stubs down to `y_lo`, north stubs up to `y_hi`).
+///
+/// Doors on different stubs are not mutually visible, so geodesic distance
+/// matrices over these polygons exercise real visibility-graph shortest
+/// paths — the construction stress case.
+fn comb_corridor_polygon(
+    x0: f64,
+    x1: f64,
+    y_lo: f64,
+    y_hi: f64,
+    south_cx: &[f64],
+    north_cx: &[f64],
+) -> Polygon {
+    let band = y_hi - y_lo;
+    let yc0 = y_lo + band * 0.4;
+    let yc1 = y_hi - band * 0.4;
+    // Stubs must stay disjoint: shop fronts are at least a shop width apart,
+    // so a quarter of the narrowest shop bounds the stub half-width.
+    let mut hw = 1.5f64;
+    for cxs in [south_cx, north_cx] {
+        if cxs.len() > 1 {
+            hw = hw.min((cxs[1] - cxs[0]) / 4.0);
+        }
+    }
+    let mut v = vec![Point::new(x0, yc0)];
+    for &cx in south_cx {
+        v.push(Point::new(cx - hw, yc0));
+        v.push(Point::new(cx - hw, y_lo));
+        v.push(Point::new(cx + hw, y_lo));
+        v.push(Point::new(cx + hw, yc0));
+    }
+    v.push(Point::new(x1, yc0));
+    v.push(Point::new(x1, yc1));
+    for &cx in north_cx.iter().rev() {
+        v.push(Point::new(cx + hw, yc1));
+        v.push(Point::new(cx + hw, y_hi));
+        v.push(Point::new(cx - hw, y_hi));
+        v.push(Point::new(cx - hw, yc1));
+    }
+    v.push(Point::new(x0, yc1));
+    Polygon::new(v).expect("comb corridor is a simple polygon")
 }
 
 /// Door position placeholder for up doors (lobby centres per side index).
@@ -357,18 +449,38 @@ fn build_floor(
             let height = y1 - y0;
             let row_h = height * 140.0 / 330.0;
 
+            let north = n_shops.div_ceil(2);
+            let south = n_shops - north;
+            let row_centers = |count: usize| -> Vec<f64> {
+                let w = width / count as f64;
+                (0..count).map(|s| x0 + w * s as f64 + w / 2.0).collect()
+            };
+            let north_cx = if north > 0 {
+                row_centers(north)
+            } else {
+                Vec::new()
+            };
+            let south_cx = if south > 0 {
+                row_centers(south)
+            } else {
+                Vec::new()
+            };
+            let service_poly = match cfg.corridor_shape {
+                CorridorShape::Band => {
+                    Rect::with_size(Point::new(x0, y0 + row_h), width, height - 2.0 * row_h)
+                        .to_polygon()
+                }
+                CorridorShape::Comb => {
+                    comb_corridor_polygon(x0, x1, y0 + row_h, y1 - row_h, &south_cx, &north_cx)
+                }
+            };
             let service = b.add_partition_on(
                 &format!("F{f}/service({i},{j})"),
                 PartitionKind::Private,
                 floor,
-                Some(
-                    Rect::with_size(Point::new(x0, y0 + row_h), width, height - 2.0 * row_h)
-                        .to_polygon(),
-                ),
+                Some(service_poly),
             );
 
-            let north = n_shops.div_ceil(2);
-            let south = n_shops - north;
             let mut shop_no = 0;
             for (row, count) in [(0usize, north), (1usize, south)] {
                 if count == 0 {
@@ -391,7 +503,9 @@ fn build_floor(
                         Some(Rect::with_size(Point::new(sx0, sy0), w, row_h).to_polygon()),
                     );
                     shop_no += 1;
-                    let cx = sx0 + w / 2.0;
+                    // Same value as `sx0 + w / 2.0`; the precomputed centres
+                    // are what the comb corridor's stubs were placed on.
+                    let cx = if row == 0 { north_cx[s] } else { south_cx[s] };
                     let front = b.add_door_on(
                         &format!("F{f}/shop({i},{j})#{}/front", shop_no - 1),
                         DoorKind::Public,
@@ -619,6 +733,72 @@ mod tests {
         let space = build_mall(&MallConfig::tiny(), &hours());
         assert!(space.num_partitions() > 0);
         assert!(space.num_doors() > 0);
+    }
+
+    #[test]
+    fn comb_corridors_keep_paper_counts() {
+        let cfg = MallConfig::single_floor().with_comb_corridors();
+        let space = build_mall(&cfg, &hours());
+        let stats = space.stats();
+        assert_eq!(stats.partitions, 141, "comb changes shapes, not counts");
+        assert_eq!(stats.doors, 224);
+        assert_eq!(stats.private_partitions, 9);
+    }
+
+    #[test]
+    fn comb_corridors_force_real_geodesics() {
+        let cfg = MallConfig::tiny().with_comb_corridors();
+        let space = build_mall(&cfg, &hours());
+        let service = space
+            .partitions()
+            .iter()
+            .find(|p| p.name.starts_with("F0/service"))
+            .expect("tiny mall has a service corridor");
+        assert!(
+            !service.polygon.as_ref().unwrap().is_convex(),
+            "comb corridor must be non-convex"
+        );
+        let doors = space.p2d(service.id);
+        assert!(doors.len() >= 2);
+        // Back doors sit on stub tips: the interior walk between two stubs
+        // strictly exceeds the straight line through the walls.
+        let (a, b) = (doors[0], doors[1]);
+        let direct = space.door(a).position.distance(space.door(b).position);
+        let walked = space.door_to_door(service.id, a, b).unwrap();
+        assert!(
+            walked > direct + 1.0,
+            "expected a detour: walked {walked}, direct {direct}"
+        );
+    }
+
+    #[test]
+    fn comb_mall_pipelines_agree_exactly() {
+        let cfg = MallConfig::tiny().with_comb_corridors();
+        let h = hours();
+        let fast = mall_builder(&cfg, &h).build().unwrap();
+        let threaded = mall_builder(&cfg, &h).build_with_workers(4).unwrap();
+        let slow = mall_builder(&cfg, &h).build_sequential().unwrap();
+        assert_eq!(fast, slow, "fast pipeline diverged from reference");
+        assert_eq!(threaded, slow, "worker count changed the output");
+    }
+
+    #[test]
+    fn comb_door_positions_lie_on_their_partitions() {
+        let cfg = MallConfig::tiny().with_comb_corridors();
+        let space = build_mall(&cfg, &hours());
+        for p in space.partitions() {
+            let poly = p.polygon.as_ref().unwrap();
+            for &d in space.p2d(p.id) {
+                let rec = space.door(d);
+                assert!(
+                    poly.contains(rec.position),
+                    "door {} at {} outside partition {}",
+                    rec.name,
+                    rec.position,
+                    p.name
+                );
+            }
+        }
     }
 
     #[test]

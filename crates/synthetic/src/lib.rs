@@ -24,6 +24,6 @@ mod floorplan;
 mod hours;
 mod query_gen;
 
-pub use floorplan::{build_mall, MallConfig};
+pub use floorplan::{build_mall, mall_builder, CorridorShape, MallConfig};
 pub use hours::{HoursConfig, Sampling, ShopHours};
 pub use query_gen::{generate_queries, GeneratedQuery, QueryGenConfig};
