@@ -250,11 +250,12 @@ pub fn exhaustive_shortest(
     let mut cumulative = 0.0;
     let mut prev: Option<DoorId> = None;
     for &(door, via) in &doors {
+        // The winning sequence was walked by the DFS, so every leg exists;
+        // `?` degrades a broken invariant to "no route" instead of a panic.
         let leg = match prev {
             None => space.point_to_door(&src, door),
             Some(p) => space.door_to_door(via, p, door),
-        }
-        .expect("winning sequence is connected");
+        }?;
         cumulative += leg;
         hops.push(DoorHop {
             door,

@@ -44,7 +44,15 @@ use indoor_time::{Timestamp, Velocity};
 use parking_lot::RwLock;
 
 use crate::framework::{run_search, TvChecker};
-use crate::{AsynMode, ItGraph, ItspqConfig, Query, QueryResult, ReducedGraph, SearchStats};
+use crate::{
+    AsynMode, ItGraph, ItspqConfig, Query, QueryError, QueryResult, ReducedGraph, SearchStats,
+};
+
+/// One cache slot: a view built at most once, by whichever thread first
+/// touches its interval. The slot is created under the map's write lock, but
+/// the (comparatively expensive) `ReducedGraph::build` runs outside it, so a
+/// miss on one interval never blocks hits — or builds — on others.
+type ViewSlot = Arc<OnceLock<Arc<ReducedGraph>>>;
 
 /// The ITG/A query engine.
 ///
@@ -57,12 +65,6 @@ use crate::{AsynMode, ItGraph, ItspqConfig, Query, QueryResult, ReducedGraph, Se
 /// Reduced graphs are cached per checkpoint interval (the asynchronous
 /// maintenance an online deployment would perform once per checkpoint);
 /// set [`ItspqConfig::cache_views`] to `false` to rebuild on every request.
-/// One cache slot: a view built at most once, by whichever thread first
-/// touches its interval. The slot is created under the map's write lock, but
-/// the (comparatively expensive) `ReducedGraph::build` runs outside it, so a
-/// miss on one interval never blocks hits — or builds — on others.
-type ViewSlot = Arc<OnceLock<Arc<ReducedGraph>>>;
-
 pub struct AsynEngine {
     graph: Arc<ItGraph>,
     config: ItspqConfig,
@@ -195,6 +197,16 @@ impl AsynEngine {
         let (path, mut stats) = run_search(&self.graph, query, &self.config, &mut checker);
         stats.views_built += checker.pre_stats.views_built;
         QueryResult { path, stats }
+    }
+
+    /// Answers `ITSPQ(ps, pt, t)` after validating the query.
+    ///
+    /// # Errors
+    /// [`QueryError`] if an endpoint has non-finite coordinates or names a
+    /// partition the venue does not have; the search itself never runs.
+    pub fn try_query(&self, query: &Query) -> Result<QueryResult, QueryError> {
+        query.validate(self.graph.space())?;
+        Ok(self.query(query))
     }
 }
 

@@ -38,7 +38,7 @@ use indoor_space::{DoorId, IndoorSpace, PartitionId};
 use indoor_time::{Timestamp, Velocity};
 
 use crate::framework::{run_search, TvChecker};
-use crate::{ItGraph, ItspqConfig, Query, QueryResult, SearchStats};
+use crate::{ItGraph, ItspqConfig, Query, QueryError, QueryResult, SearchStats};
 
 /// `Syn_Check` (Algorithm 2): look up the door's ATIs at the arrival time
 /// `t + dist / velocity`.
@@ -112,6 +112,16 @@ impl SynEngine {
         };
         let (path, stats) = run_search(&self.graph, query, &self.config, &mut checker);
         QueryResult { path, stats }
+    }
+
+    /// Answers `ITSPQ(ps, pt, t)` after validating the query.
+    ///
+    /// # Errors
+    /// [`QueryError`] if an endpoint has non-finite coordinates or names a
+    /// partition the venue does not have; the search itself never runs.
+    pub fn try_query(&self, query: &Query) -> Result<QueryResult, QueryError> {
+        query.validate(self.graph.space())?;
+        Ok(self.query(query))
     }
 }
 

@@ -144,10 +144,12 @@ pub(crate) fn run_search<C: TvChecker>(
                 if entry.dist > st.target_dist {
                     continue; // stale: the target improved after this push
                 }
+                // `reconstruct` is `None` only on a broken predecessor
+                // invariant; degrade to "no such routes" rather than panic.
                 let path = reconstruct(space, query, config, &st, t0);
                 stats.search_bytes = st.search_bytes();
                 checker.account(&mut stats);
-                return (Some(path), stats);
+                return (path, stats);
             }
             Node::Door(i) => i,
         };
@@ -294,48 +296,48 @@ fn expand_partition<C: TvChecker>(
 }
 
 /// Lines 11–17: walk the `prev` chain back from `pt` and emit hops in order.
+///
+/// Every relaxed door records a predecessor before entering the heap, so the
+/// chain is complete whenever the target has been popped; `None` signals a
+/// broken invariant and the caller answers "no such routes" instead of
+/// unwinding.
 fn reconstruct(
     _space: &IndoorSpace,
     query: &Query,
     config: &ItspqConfig,
     st: &SearchState,
     t0: indoor_time::Timestamp,
-) -> Path {
+) -> Option<Path> {
     let mut doors_rev: Vec<u32> = Vec::new();
-    let mut cur = st.target_prev.expect("target popped ⇒ predecessor set");
+    let mut cur = st.target_prev?;
     loop {
         doors_rev.push(cur);
-        match st.prev[cur as usize]
-            .expect("relaxed doors have predecessors")
-            .from
-        {
+        match st.prev[cur as usize]?.from {
             Some(p) => cur = p,
             None => break,
         }
     }
     doors_rev.reverse();
 
-    let hops = doors_rev
-        .iter()
-        .map(|&di| {
-            let p = st.prev[di as usize].expect("on path");
-            let d = st.dist[di as usize];
-            DoorHop {
-                door: DoorId(di),
-                via_partition: p.via,
-                distance: d,
-                arrival: t0 + config.velocity.travel_time(d),
-            }
-        })
-        .collect();
+    let mut hops = Vec::with_capacity(doors_rev.len());
+    for &di in &doors_rev {
+        let p = st.prev[di as usize]?;
+        let d = st.dist[di as usize];
+        hops.push(DoorHop {
+            door: DoorId(di),
+            via_partition: p.via,
+            distance: d,
+            arrival: t0 + config.velocity.travel_time(d),
+        });
+    }
 
     let length = st.target_dist;
-    Path {
+    Some(Path {
         source: query.source,
         target: query.target,
         hops,
         length,
         departure: t0,
         arrival: t0 + config.velocity.travel_time(length),
-    }
+    })
 }

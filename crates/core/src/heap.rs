@@ -1,7 +1,9 @@
-//! Min-heap plumbing for Dijkstra over finite `f64` distances.
+//! Min-heap plumbing for Dijkstra over `f64` distances.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+use crate::ord::cmp_dist;
 
 /// A node of the search: a door (by dense index) or the query target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,12 +26,10 @@ impl Eq for Entry {}
 
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: smaller distance = greater priority. Distances are finite
-        // by construction (relaxations only add finite DM/geometry values).
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .expect("search distances are finite")
+        // Reverse: smaller distance = greater priority. Total order: a NaN
+        // distance (corrupt DM entry, degenerate geometry) sorts as the
+        // *worst* priority instead of panicking the search.
+        cmp_dist(other.dist, self.dist)
             .then_with(|| node_rank(other.node).cmp(&node_rank(self.node)))
     }
 }
@@ -97,6 +97,17 @@ mod tests {
         assert_eq!(h.pop().unwrap().node, Node::Door(3));
         assert_eq!(h.pop().unwrap().node, Node::Door(7));
         assert_eq!(h.pop().unwrap().node, Node::Target);
+    }
+
+    #[test]
+    fn nan_distance_pops_last_instead_of_panicking() {
+        let mut h = MinHeap::new();
+        h.push(f64::NAN, Node::Door(0));
+        h.push(2.0, Node::Door(1));
+        h.push(f64::INFINITY, Node::Door(2));
+        assert_eq!(h.pop().unwrap().dist, 2.0);
+        assert_eq!(h.pop().unwrap().dist, f64::INFINITY);
+        assert!(h.pop().unwrap().dist.is_nan());
     }
 
     #[test]

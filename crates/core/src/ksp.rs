@@ -13,6 +13,7 @@
 use indoor_space::{DoorId, PartitionId};
 
 use crate::heap::{MinHeap, Node};
+use crate::ord::cmp_dist;
 use crate::{DoorHop, ItGraph, ItspqConfig, Path, Query};
 
 /// Computes up to `k` shortest valid paths, ordered by increasing length.
@@ -54,7 +55,11 @@ pub fn k_shortest_paths(
     let mut candidates: Vec<Path> = Vec::new();
 
     while accepted.len() < k {
-        let prev = accepted.last().expect("non-empty").clone();
+        // `accepted` starts with one path and only grows, but spell the
+        // invariant as control flow rather than a panic site.
+        let Some(prev) = accepted.last().cloned() else {
+            break;
+        };
         for spur_idx in 0..=prev.hops.len().saturating_sub(1) {
             let root = &prev.hops[..spur_idx];
 
@@ -99,7 +104,7 @@ pub fn k_shortest_paths(
         let Some(best_idx) = candidates
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.length.partial_cmp(&b.length).expect("finite"))
+            .min_by(|(_, a), (_, b)| cmp_dist(a.length, b.length))
             .map(|(i, _)| i)
         else {
             break;
@@ -252,11 +257,15 @@ fn spur_search(
     }
 
     let last = target_prev?;
+    // Walk predecessor links back to the spur seed. Every door on the path
+    // got a `prev` entry before entering the heap, so a missing link is a
+    // broken invariant — degrade to "no path" rather than panic.
     let mut rev = Vec::new();
     let mut cur = last;
     loop {
-        rev.push(cur);
-        match prev[cur as usize].expect("on path").1 {
+        let (via, from) = prev[cur as usize]?;
+        rev.push((cur, via));
+        match from {
             Some(p) => cur = p,
             None => break,
         }
@@ -264,14 +273,11 @@ fn spur_search(
     rev.reverse();
     let hops: Vec<DoorHop> = rev
         .iter()
-        .map(|&di| {
-            let (via, _) = prev[di as usize].expect("on path");
-            DoorHop {
-                door: DoorId(di),
-                via_partition: via,
-                distance: dist[di as usize],
-                arrival: t0 + config.velocity.travel_time(dist[di as usize]),
-            }
+        .map(|&(di, via)| DoorHop {
+            door: DoorId(di),
+            via_partition: via,
+            distance: dist[di as usize],
+            arrival: t0 + config.velocity.travel_time(dist[di as usize]),
         })
         .collect();
     Some(Path {

@@ -25,6 +25,8 @@
 //!   checkpoint-aligned and refined to a chosen resolution;
 //! * [`one_to_many`] — single-source valid-distance maps over all doors and
 //!   partitions (evacuation/coverage analysis);
+//! * [`ord`] — NaN-safe total-order comparisons every distance in this crate
+//!   is ranked by (no `partial_cmp(..).unwrap()` anywhere in the search);
 //! * [`server`] — [`VenueServer`], the concurrent batched query front-end:
 //!   one `Arc`-shared venue, a worker pool, and the ITG/A reduced-graph
 //!   cache amortised across threads.
@@ -69,6 +71,9 @@
 //! assert!(engine.query(&q).path.is_none());
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod baselines;
 mod config;
 pub mod engine_asyn;
@@ -78,6 +83,7 @@ pub mod graph;
 mod heap;
 pub mod ksp;
 pub mod one_to_many;
+pub mod ord;
 pub mod profile;
 mod query;
 mod reduced;
@@ -91,7 +97,8 @@ pub use engine_asyn::AsynEngine;
 pub use engine_syn::SynEngine;
 pub use graph::ItGraph;
 pub use ksp::k_shortest_paths;
-pub use query::{DoorHop, Path, Query, QueryOutcome, QueryResult};
+pub use ord::{cmp_dist, cmp_opt_len, min_dist, OrdF64};
+pub use query::{DoorHop, Path, Query, QueryError, QueryOutcome, QueryResult};
 pub use reduced::ReducedGraph;
 pub use server::{ServeMethod, ServerConfig, VenueServer};
 pub use stats::SearchStats;

@@ -15,6 +15,7 @@ use indoor_space::{DoorId, IndoorPoint, PartitionId};
 use indoor_time::{TimeOfDay, Timestamp};
 
 use crate::heap::{MinHeap, Node};
+use crate::ord::min_dist;
 use crate::{ItGraph, ItspqConfig};
 
 /// The result of a one-to-many sweep.
@@ -136,9 +137,7 @@ pub fn reachability(
         }
         let p = PartitionId::from_index(pi);
         for &d in space.p2d_enterable(p) {
-            if dist[d.index()] < *pd {
-                *pd = dist[d.index()];
-            }
+            *pd = min_dist(*pd, dist[d.index()]);
         }
     }
 

@@ -10,6 +10,7 @@
 
 use indoor_time::{DurationSecs, TimeOfDay};
 
+use crate::ord::cmp_opt_len;
 use crate::{ItGraph, ItspqConfig, Query, SynEngine};
 
 /// One sampled point of a departure-time profile.
@@ -36,7 +37,7 @@ impl Profile {
         self.points
             .iter()
             .filter(|p| p.length.is_some())
-            .min_by(|a, b| a.length.partial_cmp(&b.length).expect("finite lengths"))
+            .min_by(|a, b| cmp_opt_len(a.length, b.length))
     }
 
     /// The sub-windows (as index ranges into `points`) where a route exists.
@@ -110,10 +111,13 @@ pub fn departure_profile(
     while i + 1 < points.len() {
         let gap = points[i + 1].departure.seconds() - points[i].departure.seconds();
         if gap > min_gap && differs(&points[i], &points[i + 1]) {
-            let mid = TimeOfDay::from_seconds(points[i].departure.seconds() + gap / 2.0)
-                .expect("midpoint stays within the day");
-            points.insert(i + 1, probe(mid));
-            // Re-examine the left half next iteration (no increment).
+            // The midpoint of two in-day times is in-day; if float noise ever
+            // says otherwise, stop refining this gap rather than panic.
+            match TimeOfDay::from_seconds(points[i].departure.seconds() + gap / 2.0) {
+                Ok(mid) => points.insert(i + 1, probe(mid)),
+                Err(_) => i += 1,
+            }
+            // On success, re-examine the left half next iteration.
         } else {
             i += 1;
         }

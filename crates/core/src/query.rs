@@ -1,10 +1,60 @@
-//! Queries, paths and results.
+//! Queries, paths, results and the typed query error.
+
+use std::fmt;
 
 use indoor_space::{DoorId, IndoorPoint, IndoorSpace, PartitionId};
 use indoor_time::{DurationSecs, TimeOfDay, Timestamp};
 use serde::{Deserialize, Serialize};
 
 use crate::SearchStats;
+
+/// Why a query could not be *evaluated* (as opposed to evaluating to "no
+/// such routes", which is a successful [`QueryOutcome::NoRoute`]).
+///
+/// Engines validate inputs up front so that malformed queries surface as
+/// values instead of panicking a search — essential for the server, where a
+/// panic would poison a worker thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryError {
+    /// A source or target coordinate is NaN or infinite.
+    NonFinitePosition {
+        /// Which endpoint: `"source"` or `"target"`.
+        endpoint: &'static str,
+        /// The offending x coordinate.
+        x: f64,
+        /// The offending y coordinate.
+        y: f64,
+    },
+    /// A source or target names a partition the venue does not have.
+    UnknownPartition {
+        /// Which endpoint: `"source"` or `"target"`.
+        endpoint: &'static str,
+        /// The out-of-range partition index.
+        index: usize,
+        /// Number of partitions in the venue.
+        num_partitions: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::NonFinitePosition { endpoint, x, y } => {
+                write!(f, "{endpoint} position ({x}, {y}) is not finite")
+            }
+            QueryError::UnknownPartition {
+                endpoint,
+                index,
+                num_partitions,
+            } => write!(
+                f,
+                "{endpoint} partition index {index} out of range (venue has {num_partitions})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// An `ITSPQ(ps, pt, t)` query: source point, target point, departure time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,6 +82,30 @@ impl Query {
     #[must_use]
     pub fn departure(&self) -> Timestamp {
         Timestamp::from_time_of_day(self.time)
+    }
+
+    /// Checks that the query is evaluable against `space`: both endpoints
+    /// have finite coordinates and name existing partitions.
+    ///
+    /// # Errors
+    /// [`QueryError::NonFinitePosition`] or [`QueryError::UnknownPartition`]
+    /// on the first malformed endpoint (source checked before target).
+    pub fn validate(&self, space: &IndoorSpace) -> Result<(), QueryError> {
+        let n = space.num_partitions();
+        for (endpoint, p) in [("source", &self.source), ("target", &self.target)] {
+            let (x, y) = (p.position.x, p.position.y);
+            if !x.is_finite() || !y.is_finite() {
+                return Err(QueryError::NonFinitePosition { endpoint, x, y });
+            }
+            if p.partition.index() >= n {
+                return Err(QueryError::UnknownPartition {
+                    endpoint,
+                    index: p.partition.index(),
+                    num_partitions: n,
+                });
+            }
+        }
+        Ok(())
     }
 }
 

@@ -45,7 +45,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crate::{AsynEngine, AsynMode, ItGraph, ItspqConfig, Query, QueryResult, SynEngine};
+use crate::{
+    AsynEngine, AsynMode, ItGraph, ItspqConfig, Query, QueryError, QueryResult, SynEngine,
+};
 
 /// Which engine answers the server's queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +181,17 @@ impl VenueServer {
         }
     }
 
+    /// Answers a single query after validating it, so malformed input (NaN
+    /// coordinates, out-of-range partitions) surfaces as a value instead of
+    /// unwinding a worker thread.
+    ///
+    /// # Errors
+    /// [`QueryError`] describing the first malformed endpoint.
+    pub fn try_query(&self, query: &Query) -> Result<QueryResult, QueryError> {
+        query.validate(self.graph.space())?;
+        Ok(self.query(query))
+    }
+
     /// Answers a batch of queries on up to [`ServerConfig::workers`] threads,
     /// returning results in input order.
     ///
@@ -210,7 +223,12 @@ impl VenueServer {
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("query worker panicked"))
+                .flat_map(|h| match h.join() {
+                    Ok(local) => local,
+                    // Re-raise a worker's panic with its original payload
+                    // instead of wrapping it in a second panic here.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
         indexed.sort_unstable_by_key(|&(i, _)| i);

@@ -164,8 +164,11 @@ pub fn validate_path(
         prev_door = Some(hop.door);
     }
 
-    // Final leg into the target partition.
-    let last = prev_door.expect("non-empty hop list");
+    // Final leg into the target partition. The empty-hops case returned
+    // above, so a last door exists; report (not panic) if it somehow doesn't.
+    let Some(last) = prev_door else {
+        return Err(PathViolation::Disconnected { hop: 0 });
+    };
     if !space.d2p_enterable(last).contains(&dst.partition) {
         return Err(PathViolation::Disconnected {
             hop: path.hops.len(),

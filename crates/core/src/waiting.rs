@@ -27,7 +27,9 @@ pub enum WaitPolicy {
 impl WaitPolicy {
     fn admits(self, wait: DurationSecs) -> bool {
         match self {
-            WaitPolicy::None => wait.seconds() == 0.0,
+            // Durations are non-negative, so "<= zero" is exactly "no wait"
+            // without a float equality.
+            WaitPolicy::None => wait <= DurationSecs::ZERO,
             WaitPolicy::UpTo(max) => wait <= max,
             WaitPolicy::Unlimited => true,
         }
@@ -177,7 +179,10 @@ pub fn earliest_arrival(
         }
         settled[di as usize] = true;
         let door = DoorId(di);
-        let crossed = Timestamp::from_seconds(best[di as usize]).expect("finite");
+        // Labels are finite by relaxation; skip (not panic) on a broken one.
+        let Ok(crossed) = Timestamp::from_seconds(best[di as usize]) else {
+            continue;
+        };
 
         // Terminal: the door bounds the target partition.
         if space.d2p_enterable(door).contains(&dst.partition) {
@@ -218,16 +223,16 @@ pub fn earliest_arrival(
     }
 
     let last = target_prev?;
-    // Reconstruct.
-    let mut rev: Vec<u32> = Vec::new();
+    // Reconstruct. Every settled door recorded a predecessor entry before it
+    // entered the heap, so the chain is complete; `?` degrades a broken
+    // invariant to "no path" instead of panicking.
+    let mut rev: Vec<(u32, PrevHop)> = Vec::new();
     let mut cur = last;
     loop {
-        rev.push(cur);
-        match prev[cur as usize]
-            .expect("settled doors have predecessors")
-            .from
-        {
-            Some(p) => cur = p,
+        let p = prev[cur as usize]?;
+        rev.push((cur, p));
+        match p.from {
+            Some(q) => cur = q,
             None => break,
         }
     }
@@ -235,8 +240,7 @@ pub fn earliest_arrival(
     let mut hops = Vec::with_capacity(rev.len());
     let mut walking = 0.0;
     let mut total_wait = DurationSecs::ZERO;
-    for &di in &rev {
-        let p = prev[di as usize].expect("on path");
+    for &(di, p) in &rev {
         walking += p.leg;
         total_wait = total_wait + p.waited;
         hops.push(TimedHop {
@@ -248,9 +252,8 @@ pub fn earliest_arrival(
             crossed: p.crossed,
         });
     }
-    let final_leg = space
-        .point_to_door(&dst, DoorId(last))
-        .expect("terminal door bounds the target partition");
+    // The terminal door bounds the target partition, so this leg exists.
+    let final_leg = space.point_to_door(&dst, DoorId(last))?;
     walking += final_leg;
     Some(TimedPath {
         source: src,
@@ -259,7 +262,7 @@ pub fn earliest_arrival(
         walking_distance: walking,
         total_wait,
         departure: t0,
-        arrival: Timestamp::from_seconds(target_arrival).expect("finite"),
+        arrival: Timestamp::from_seconds(target_arrival).ok()?,
     })
 }
 

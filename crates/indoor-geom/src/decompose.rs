@@ -24,7 +24,7 @@ pub fn decompose_rectilinear(poly: &Polygon) -> Result<Vec<Rect>, GeomError> {
 
     // Horizontal slab boundaries: every distinct vertex y.
     let mut ys: Vec<f64> = poly.vertices().iter().map(|v| v.y).collect();
-    ys.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+    ys.sort_by(|a, b| a.total_cmp(b));
     ys.dedup_by(|a, b| (*a - *b).abs() <= EPS);
 
     let mut rects = Vec::new();
@@ -48,7 +48,7 @@ pub fn decompose_rectilinear(poly: &Polygon) -> Result<Vec<Rect>, GeomError> {
                 }
             }
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+        xs.sort_by(|a, b| a.total_cmp(b));
 
         debug_assert!(
             xs.len().is_multiple_of(2),
@@ -56,10 +56,11 @@ pub fn decompose_rectilinear(poly: &Polygon) -> Result<Vec<Rect>, GeomError> {
         );
         for pair in xs.chunks_exact(2) {
             if pair[1] - pair[0] > EPS {
-                rects.push(
-                    Rect::new(Point::new(pair[0], y_lo), Point::new(pair[1], y_hi))
-                        .expect("slab runs are non-degenerate"),
-                );
+                // A crossing pair wider and a slab taller than EPS cannot
+                // form a degenerate rect; skip (not panic) if it somehow does.
+                if let Ok(r) = Rect::new(Point::new(pair[0], y_lo), Point::new(pair[1], y_hi)) {
+                    rects.push(r);
+                }
             }
         }
     }

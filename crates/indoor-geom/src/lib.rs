@@ -21,6 +21,8 @@
 //!
 //! All coordinates are metres in a per-floor local frame.
 
+#![forbid(unsafe_code)]
+
 mod decompose;
 mod error;
 mod geodesic;

@@ -111,7 +111,7 @@ impl Polygon {
     #[must_use]
     pub fn is_convex(&self) -> bool {
         let n = self.vertices.len();
-        let mut sign = 0.0f64;
+        let mut sign: Option<f64> = None;
         for i in 0..n {
             let a = self.vertices[i];
             let b = self.vertices[(i + 1) % n];
@@ -120,10 +120,10 @@ impl Polygon {
             if cross.abs() <= EPS {
                 continue;
             }
-            if sign == 0.0 {
-                sign = cross.signum();
-            } else if cross.signum() != sign {
-                return false;
+            match sign {
+                None => sign = Some(cross.signum()),
+                Some(s) if cross.signum() != s => return false,
+                Some(_) => {}
             }
         }
         true

@@ -32,6 +32,7 @@ impl Rect {
     #[must_use]
     pub fn with_size(origin: Point, width: f64, height: f64) -> Self {
         Rect::new(origin, Point::new(origin.x + width, origin.y + height))
+            // itspq-lint: allow(no-panic-in-lib, "documented panicking literal constructor for generator fixtures")
             .expect("rect literal must be non-degenerate")
     }
 
@@ -136,6 +137,7 @@ impl Rect {
             self.max,
             Point::new(self.min.x, self.max.y),
         ])
+        // itspq-lint: allow(no-panic-in-lib, "a non-degenerate rect's four corners always form a simple CCW polygon")
         .expect("rectangle corners form a simple polygon")
     }
 }

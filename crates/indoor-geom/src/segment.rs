@@ -38,7 +38,9 @@ impl Segment {
     pub fn closest_point(self, p: Point) -> Point {
         let ab = self.b - self.a;
         let len_sq = ab.dot(ab);
-        if len_sq == 0.0 {
+        // A dot product with itself is never negative, so `<= 0` is exactly
+        // the degenerate (zero-length) case — without a float `==`.
+        if len_sq <= 0.0 {
             return self.a;
         }
         let t = ((p - self.a).dot(ab) / len_sq).clamp(0.0, 1.0);

@@ -496,7 +496,11 @@ impl VenueBuilder {
                     .collect();
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("matrix worker panicked"))
+                    .flat_map(|h| match h.join() {
+                        Ok(local) => local,
+                        // Re-raise the worker's panic with its own payload.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
                     .collect()
             });
         indexed.sort_unstable_by_key(|&(pi, _)| pi);

@@ -26,6 +26,8 @@
 //!
 //! The [`IndoorSpace`] produced here is the input to `itspq-core`'s IT-Graph.
 
+#![forbid(unsafe_code)]
+
 pub mod audit;
 mod builder;
 mod distance_matrix;

@@ -338,6 +338,8 @@ pub fn to_plan_text(space: &IndoorSpace) -> String {
         let doors = dm.doors();
         for (i, &a) in doors.iter().enumerate() {
             for &bb in &doors[i + 1..] {
+                // `doors()` enumerates exactly this matrix's keys.
+                // itspq-lint: allow(no-panic-in-lib, "a and bb come from dm.doors(), so the entry exists")
                 let stored = dm.distance(a, bb).expect("doors of this matrix");
                 let geo = space.door(a).position.distance(space.door(bb).position);
                 if (stored - geo).abs() > 1e-9 {

@@ -51,11 +51,15 @@ impl AtiList {
         intervals.sort();
         let mut merged: Vec<Interval> = Vec::with_capacity(intervals.len());
         for iv in intervals {
-            match merged.last_mut() {
-                Some(last) if last.mergeable(iv) => {
-                    *last = last.merge(iv).expect("mergeable intervals merge");
-                }
-                _ => merged.push(iv),
+            match merged.pop() {
+                Some(last) => match last.merge(iv) {
+                    Some(m) => merged.push(m),
+                    None => {
+                        merged.push(last);
+                        merged.push(iv);
+                    }
+                },
+                None => merged.push(iv),
             }
         }
         Ok(AtiList { intervals: merged })
@@ -67,6 +71,7 @@ impl AtiList {
     #[must_use]
     pub fn hm(pairs: &[HmPair]) -> Self {
         let intervals = pairs.iter().map(|&(s, e)| Interval::hm(s, e)).collect();
+        // itspq-lint: allow(no-panic-in-lib, "documented literal constructor; from_intervals is infallible for valid Interval values")
         Self::from_intervals(intervals).expect("literal ATI list")
     }
 
@@ -155,7 +160,10 @@ impl AtiList {
             // Wrap to the first opening of the next day.
             None => day_base + crate::SECONDS_PER_DAY + self.intervals[0].start().seconds(),
         };
-        Some(Timestamp::from_seconds(instant).expect("finite opening instant"))
+        // Finite day base plus an in-day offset is always a valid timestamp;
+        // `.ok()` turns a broken invariant into "never opens" instead of a
+        // panic.
+        Timestamp::from_seconds(instant).ok()
     }
 }
 

@@ -98,6 +98,7 @@ impl CheckpointSet {
             // Wrap to the first checkpoint (midnight) of the next day.
             None => Timestamp::from_seconds(day_base + crate::SECONDS_PER_DAY),
         }
+        // itspq-lint: allow(no-panic-in-lib, "day_base and checkpoint offsets are finite and non-negative by construction of TimeOfDay")
         .expect("checkpoint instants are finite and non-negative")
     }
 

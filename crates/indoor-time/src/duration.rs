@@ -8,13 +8,17 @@ use serde::{Deserialize, Serialize};
 use crate::TimeError;
 
 /// A non-negative span of time in seconds.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct DurationSecs(f64);
 
 impl DurationSecs {
     /// The zero duration.
     pub const ZERO: DurationSecs = DurationSecs(0.0);
+
+    /// The saturation bound of [`DurationSecs::saturating`]: one year, far
+    /// beyond any ATI on the daily timeline.
+    pub const MAX_SATURATED: DurationSecs = DurationSecs(365.0 * 86_400.0);
 
     /// Creates a duration from seconds.
     ///
@@ -34,6 +38,24 @@ impl DurationSecs {
         DurationSecs((minutes * 60.0).max(0.0))
     }
 
+    /// Creates a duration from seconds, clamping instead of failing:
+    /// negatives and NaN become [`DurationSecs::ZERO`], `+∞` and anything
+    /// above one year become [`DurationSecs::MAX_SATURATED`].
+    ///
+    /// This is the total function behind travel-time projections: an
+    /// unreachable (infinite) distance yields a span that overshoots every
+    /// ATI instead of panicking mid-search.
+    #[must_use]
+    pub fn saturating(secs: f64) -> Self {
+        if secs.is_nan() || secs <= 0.0 {
+            DurationSecs::ZERO
+        } else if secs >= Self::MAX_SATURATED.0 {
+            Self::MAX_SATURATED
+        } else {
+            DurationSecs(secs)
+        }
+    }
+
     /// The span in seconds.
     #[must_use]
     pub fn seconds(self) -> f64 {
@@ -49,12 +71,17 @@ impl DurationSecs {
 
 impl Eq for DurationSecs {}
 
-#[allow(clippy::derive_ord_xor_partial_ord)]
+impl PartialOrd for DurationSecs {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 impl Ord for DurationSecs {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("DurationSecs is finite")
+        // Total order, so a NaN smuggled in through arithmetic on a valid
+        // duration compares (as the largest value) instead of panicking.
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -118,6 +145,18 @@ mod tests {
     fn from_minutes_clamps() {
         assert_eq!(DurationSecs::from_minutes(2.0).seconds(), 120.0);
         assert_eq!(DurationSecs::from_minutes(-1.0), DurationSecs::ZERO);
+    }
+
+    #[test]
+    fn saturating_clamps_every_degenerate_input() {
+        assert_eq!(DurationSecs::saturating(5.0).seconds(), 5.0);
+        assert_eq!(DurationSecs::saturating(-1.0), DurationSecs::ZERO);
+        assert_eq!(DurationSecs::saturating(f64::NAN), DurationSecs::ZERO);
+        assert_eq!(
+            DurationSecs::saturating(f64::INFINITY),
+            DurationSecs::MAX_SATURATED
+        );
+        assert_eq!(DurationSecs::saturating(1e300), DurationSecs::MAX_SATURATED);
     }
 
     #[test]

@@ -43,6 +43,7 @@ impl Interval {
     #[must_use]
     pub fn hm(start: (u32, u32), end: (u32, u32)) -> Self {
         Interval::new(TimeOfDay::hm(start.0, start.1), TimeOfDay::hm(end.0, end.1))
+            // itspq-lint: allow(no-panic-in-lib, "documented panicking literal constructor for Table I-style fixtures")
             .expect("interval literal must be non-empty")
     }
 

@@ -34,6 +34,8 @@
 //! assert!(atis.is_open_at(arrival));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod ati;
 mod checkpoints;
 mod duration;

@@ -15,7 +15,7 @@ pub const SECONDS_PER_DAY: f64 = 86_400.0;
 /// The value is always within `[0, 86 400]`; the upper bound (24:00) is
 /// permitted so that the paper's fully-open interval `[0:00, 24:00)` can be
 /// expressed as a regular [`crate::Interval`].
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct TimeOfDay(f64);
 
@@ -80,11 +80,17 @@ impl TimeOfDay {
 
 impl Eq for TimeOfDay {}
 
-#[allow(clippy::derive_ord_xor_partial_ord)]
+impl PartialOrd for TimeOfDay {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 impl Ord for TimeOfDay {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Values are always finite, so total order is well defined.
-        self.0.partial_cmp(&other.0).expect("TimeOfDay is finite")
+        // Values are finite by construction; total_cmp keeps the order total
+        // even if arithmetic ever smuggles a NaN through.
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -106,7 +112,7 @@ impl fmt::Display for TimeOfDay {
 /// Unlike [`TimeOfDay`], a `Timestamp` may exceed 24 h: a path that starts at
 /// 23:50 keeps accumulating walking time past midnight. Interval membership
 /// reduces timestamps modulo one day (see [`crate::AtiList::is_open_at`]).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Timestamp(f64);
 
@@ -149,10 +155,15 @@ impl Timestamp {
 
 impl Eq for Timestamp {}
 
-#[allow(clippy::derive_ord_xor_partial_ord)]
+impl PartialOrd for Timestamp {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 impl Ord for Timestamp {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("Timestamp is finite")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -174,7 +185,9 @@ impl Sub<Timestamp> for Timestamp {
     type Output = DurationSecs;
 
     fn sub(self, rhs: Timestamp) -> DurationSecs {
-        DurationSecs::new((self.0 - rhs.0).max(0.0)).expect("non-negative by construction")
+        // Finite minus finite clamped at zero: saturating is exact here and
+        // total if either operand is ever degenerate.
+        DurationSecs::saturating(self.0 - rhs.0)
     }
 }
 

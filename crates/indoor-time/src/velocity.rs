@@ -46,11 +46,15 @@ impl Velocity {
         self.0 * 3.6
     }
 
-    /// The walking time `Δt = dist / velocity` for a distance in metres
-    /// (negative distances are treated as zero).
+    /// The walking time `Δt = dist / velocity` for a distance in metres.
+    ///
+    /// Total over all inputs via [`DurationSecs::saturating`]: negative and
+    /// NaN distances take zero time, an infinite (unreachable) distance
+    /// takes [`DurationSecs::MAX_SATURATED`] — an arrival past every ATI,
+    /// so the projection rejects the door instead of panicking the search.
     #[must_use]
     pub fn travel_time(self, distance_m: f64) -> DurationSecs {
-        DurationSecs::new((distance_m / self.0).max(0.0)).expect("finite travel time")
+        DurationSecs::saturating(distance_m / self.0)
     }
 }
 
@@ -70,6 +74,15 @@ mod tests {
         assert!((WALKING_SPEED.travel_time(5000.0).seconds() - 3600.0).abs() < 1e-9);
         assert_eq!(WALKING_SPEED.travel_time(0.0).seconds(), 0.0);
         assert_eq!(WALKING_SPEED.travel_time(-3.0).seconds(), 0.0);
+    }
+
+    #[test]
+    fn travel_time_is_total_over_degenerate_distances() {
+        assert_eq!(
+            WALKING_SPEED.travel_time(f64::INFINITY),
+            DurationSecs::MAX_SATURATED
+        );
+        assert_eq!(WALKING_SPEED.travel_time(f64::NAN), DurationSecs::ZERO);
     }
 
     #[test]

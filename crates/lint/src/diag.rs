@@ -1,0 +1,79 @@
+//! Diagnostics: what a rule reports and how it is rendered.
+
+use std::fmt;
+
+/// How serious a diagnostic is. Under `--deny` both levels fail the run;
+/// without it the linter is advisory and only the summary differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Worth fixing, does not necessarily break the build contract.
+    Warning,
+    /// A violation of a workspace invariant.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One finding, anchored to `file:line:col`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that produced the finding (`no-panic-in-lib`, …, or
+    /// `allow-discipline` for problems with the suppressions themselves).
+    pub rule: &'static str,
+    /// Severity level.
+    pub severity: Severity,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Sort key: by file, then position, then rule.
+    #[must_use]
+    pub fn sort_key(&self) -> (String, u32, u32, &'static str) {
+        (self.path.clone(), self.line, self.col, self.rule)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}[{}]: {}",
+            self.path, self.line, self.col, self.severity, self.rule, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_like_a_compiler_diagnostic() {
+        let d = Diagnostic {
+            rule: "no-panic-in-lib",
+            severity: Severity::Error,
+            path: "crates/core/src/heap.rs".into(),
+            line: 32,
+            col: 14,
+            message: "`.expect(..)` in library code".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/heap.rs:32:14: error[no-panic-in-lib]: `.expect(..)` in library code"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! The driver: lint one source string, or walk the workspace.
+//!
+//! [`lint_source`] is the pure core (fixtures and proptests call it
+//! directly); [`lint_workspace`] walks a directory tree, classifies each
+//! `.rs` file and aggregates a [`Report`].
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::allow::{collect_allows, Allow, ALLOW_RULE};
+use crate::diag::{Diagnostic, Severity};
+use crate::rules::{all_rules, is_known_rule};
+use crate::source::{classify, FileCtx, FileView};
+
+/// Directory names never descended into. `fixtures` holds the linter's own
+/// known-bad corpus; `target` and `results` are build/bench artefacts;
+/// `vendor` is third-party and exempt by policy.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    ".git",
+    "vendor",
+    "fixtures",
+    "results",
+    "node_modules",
+];
+
+/// Outcome of linting one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileOutcome {
+    /// Unsuppressed findings, including `allow-discipline` errors.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced by a justified allow.
+    pub suppressed: usize,
+    /// Justified allows that silenced at least one finding.
+    pub allows_used: usize,
+}
+
+/// Aggregate over a workspace run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Every unsuppressed finding, sorted by file and position.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files scanned (vendor/fixtures excluded).
+    pub files: usize,
+    /// Findings silenced by justified allows, workspace-wide.
+    pub suppressed: usize,
+    /// Justified allows that fired.
+    pub allows_used: usize,
+}
+
+impl Report {
+    /// Whether the run found nothing (the `--deny` success condition).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of error-severity findings.
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+}
+
+/// Lints one source string under an explicit classification. This is the
+/// whole pipeline: lex, run every rule, parse allow directives, suppress,
+/// then report unknown/unused allows as `allow-discipline` errors.
+#[must_use]
+pub fn lint_source(ctx: &FileCtx, src: &str) -> FileOutcome {
+    let view = FileView::new(ctx, src);
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for rule in all_rules() {
+        rule.check(&view, &mut raw);
+    }
+    let (allows, mut diagnostics) = collect_allows(&view);
+
+    // Unknown rule names are errors, and such allows never match anything.
+    for a in &allows {
+        if !is_known_rule(&a.rule) {
+            diagnostics.push(Diagnostic {
+                rule: ALLOW_RULE,
+                severity: Severity::Error,
+                path: ctx.path.clone(),
+                line: a.comment_line,
+                col: a.col,
+                message: format!("allow names unknown rule `{}` (see --list-rules)", a.rule),
+            });
+        }
+    }
+
+    let mut used = vec![false; allows.len()];
+    let mut suppressed = 0usize;
+    for d in raw {
+        let matched = allows
+            .iter()
+            .enumerate()
+            .find(|(_, a)| a.rule == d.rule && a.target_line == d.line);
+        match matched {
+            Some((i, _)) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => diagnostics.push(d),
+        }
+    }
+
+    // A suppression that suppresses nothing is stale and must go.
+    for (a, used) in allows.iter().zip(&used) {
+        if !used && is_known_rule(&a.rule) {
+            diagnostics.push(Diagnostic {
+                rule: ALLOW_RULE,
+                severity: Severity::Error,
+                path: ctx.path.clone(),
+                line: a.comment_line,
+                col: a.col,
+                message: format!(
+                    "unused allow for `{}`: nothing on line {} triggers it — remove the stale \
+                     suppression",
+                    a.rule, a.target_line
+                ),
+            });
+        }
+    }
+
+    diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    let allows_used = used.iter().filter(|&&u| u).count();
+    FileOutcome {
+        diagnostics,
+        suppressed,
+        allows_used,
+    }
+}
+
+/// Walks `root` and lints every `.rs` file outside the skipped directories
+/// (`target`, `vendor`, `fixtures`, …).
+///
+/// # Errors
+/// Propagates I/O errors from the directory walk; unreadable individual
+/// files are skipped (the build would have failed on them first).
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let Ok(src) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let ctx = classify(&rel);
+        let outcome = lint_source(&ctx, &src);
+        report.files += 1;
+        report.suppressed += outcome.suppressed;
+        report.allows_used += outcome.allows_used;
+        report.diagnostics.extend(outcome.diagnostics);
+    }
+    Ok(report)
+}
+
+/// Walks `root` and returns every well-formed allow directive as
+/// `(workspace-relative path, allow)` pairs, in file order. Backs the CLI's
+/// `--list-allows`: the living inventory of everywhere the workspace claims
+/// an invariant the linter cannot see.
+///
+/// # Errors
+/// Propagates I/O errors from the directory walk.
+pub fn collect_workspace_allows(root: &Path) -> io::Result<Vec<(String, Allow)>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+
+    let mut out = Vec::new();
+    for path in files {
+        let Ok(src) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let ctx = classify(&rel);
+        let view = FileView::new(&ctx, &src);
+        let (allows, _) = collect_allows(&view);
+        out.extend(allows.into_iter().map(|a| (rel.clone(), a)));
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::classify;
+
+    #[test]
+    fn justified_allow_suppresses_and_counts() {
+        let ctx = classify("crates/core/src/a.rs");
+        let src = "fn f() {\n    x.unwrap() // itspq-lint: allow(no-panic-in-lib, \"x seeded above\")\n}\n";
+        let out = lint_source(&ctx, src);
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        assert_eq!(out.suppressed, 1);
+        assert_eq!(out.allows_used, 1);
+    }
+
+    #[test]
+    fn allow_for_the_wrong_rule_does_not_suppress() {
+        let ctx = classify("crates/core/src/a.rs");
+        let src = "fn f() {\n    x.unwrap() // itspq-lint: allow(lock-scope, \"wrong rule\")\n}\n";
+        let out = lint_source(&ctx, src);
+        // The unwrap still fires AND the allow is reported unused.
+        assert_eq!(out.diagnostics.len(), 2);
+        assert!(out.diagnostics.iter().any(|d| d.rule == "no-panic-in-lib"));
+        assert!(out.diagnostics.iter().any(|d| d.rule == ALLOW_RULE));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_an_error() {
+        let ctx = classify("crates/core/src/a.rs");
+        let src = "// itspq-lint: allow(no-such-rule, \"hm\")\nfn f() {}\n";
+        let out = lint_source(&ctx, src);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert!(out.diagnostics[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn unused_allow_is_an_error() {
+        let ctx = classify("crates/core/src/a.rs");
+        let src = "// itspq-lint: allow(no-panic-in-lib, \"stale\")\nfn f() { clean(); }\n";
+        let out = lint_source(&ctx, src);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert!(out.diagnostics[0].message.contains("unused allow"));
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_by_position() {
+        let ctx = classify("crates/core/src/a.rs");
+        let src = "fn f() { b.unwrap(); }\nfn g() { a.unwrap(); panic!(); }\n";
+        let out = lint_source(&ctx, src);
+        let lines: Vec<u32> = out.diagnostics.iter().map(|d| d.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted);
+    }
+}

@@ -1,0 +1,488 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The rules in this crate are lexical, so the lexer's one job is to be
+//! *right about what is code*: string literals (plain, raw, byte), char
+//! literals, lifetimes and comments (line, nested block) must never leak
+//! their contents into the token stream a rule matches against. Everything
+//! else — identifiers, numbers, operators — is tokenised with positions so
+//! diagnostics can point at `file:line:col`.
+//!
+//! The lexer never fails: any byte sequence produces a token stream (stray
+//! or unterminated constructs degrade into `Punct`/literal-to-end-of-file
+//! tokens), which the crate's proptests pin down.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`let`, `unwrap`, `r#try`, …).
+    Ident,
+    /// A lifetime such as `'a` (including `'static`, `'_`).
+    Lifetime,
+    /// An integer literal.
+    Int,
+    /// A floating-point literal (`1.0`, `1e-3`, `2f64`, `1.`).
+    Float,
+    /// A string, raw-string, byte-string or C-string literal.
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A `//` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// A `/* … */` comment, nesting handled.
+    BlockComment,
+    /// Punctuation / operator, possibly multi-character (`==`, `::`, `||`).
+    Punct,
+}
+
+/// One token, with its byte span and 1-based position in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The kind of token.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in characters) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text.
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// Whether the token is a comment.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Multi-character operators, longest first so greedy matching is correct.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Tokenises `src`. Infallible: unterminated literals and comments extend to
+/// the end of the file, and any unexpected byte becomes a one-byte `Punct`.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let (line, col, start) = (self.line, self.col, self.pos);
+            let kind = self.next_kind();
+            if let Some(kind) = kind {
+                self.out.push(Token {
+                    kind,
+                    start,
+                    end: self.pos,
+                    line,
+                    col,
+                });
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Consumes one char, maintaining line/col. Multi-byte UTF-8 chars count
+    /// as one column.
+    fn bump(&mut self) {
+        let b = self.peek(0);
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+            self.pos += 1;
+            return;
+        }
+        let step = utf8_len(b);
+        self.pos = (self.pos + step).min(self.bytes.len());
+        self.col += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Lexes one token starting at `self.pos`; returns `None` for skipped
+    /// whitespace. Always advances.
+    fn next_kind(&mut self) -> Option<TokenKind> {
+        let b = self.peek(0);
+
+        if b.is_ascii_whitespace()
+            || !b.is_ascii() && self.src[self.pos..].starts_with(char::is_whitespace)
+        {
+            self.bump();
+            return None;
+        }
+
+        // Comments.
+        if b == b'/' && self.peek(1) == b'/' {
+            while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+                self.bump();
+            }
+            return Some(TokenKind::LineComment);
+        }
+        if b == b'/' && self.peek(1) == b'*' {
+            self.bump_n(2);
+            let mut depth = 1u32;
+            while self.pos < self.bytes.len() && depth > 0 {
+                if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                    depth += 1;
+                    self.bump_n(2);
+                } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                    depth -= 1;
+                    self.bump_n(2);
+                } else {
+                    self.bump();
+                }
+            }
+            return Some(TokenKind::BlockComment);
+        }
+
+        // Raw strings / raw identifiers / byte and C strings.
+        if b == b'r' || b == b'b' || b == b'c' {
+            if let Some(kind) = self.try_prefixed_literal() {
+                return Some(kind);
+            }
+        }
+
+        // Identifiers and keywords.
+        if b == b'_' || b.is_ascii_alphabetic() || !b.is_ascii() {
+            while self.pos < self.bytes.len() {
+                let c = self.peek(0);
+                if c == b'_' || c.is_ascii_alphanumeric() || !c.is_ascii() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            return Some(TokenKind::Ident);
+        }
+
+        // Numbers.
+        if b.is_ascii_digit() {
+            return Some(self.lex_number());
+        }
+
+        // Plain strings.
+        if b == b'"' {
+            self.bump();
+            self.consume_quoted(b'"');
+            return Some(TokenKind::Str);
+        }
+
+        // Char literal or lifetime.
+        if b == b'\'' {
+            return Some(self.lex_quote());
+        }
+
+        // Multi-char then single-char punctuation.
+        for op in MULTI_PUNCT {
+            if self.src[self.pos..].starts_with(op) {
+                self.bump_n(op.chars().count());
+                return Some(TokenKind::Punct);
+            }
+        }
+        self.bump();
+        Some(TokenKind::Punct)
+    }
+
+    /// `r"…"`, `r#"…"#`, `br#"…"#`, `b"…"`, `b'x'`, `c"…"`, `r#ident`.
+    fn try_prefixed_literal(&mut self) -> Option<TokenKind> {
+        let b = self.peek(0);
+        let (raw_at, quote_at) = match (b, self.peek(1)) {
+            (b'r', b'"' | b'#') => (0, 1),
+            (b'b' | b'c', b'"') => (usize::MAX, 1),
+            (b'b', b'\'') => {
+                // Byte char literal b'x'.
+                self.bump_n(2);
+                self.consume_quoted(b'\'');
+                return Some(TokenKind::Char);
+            }
+            (b'b', b'r') if matches!(self.peek(2), b'"' | b'#') => (1, 2),
+            _ => return None,
+        };
+        if raw_at != usize::MAX {
+            // Count the hashes after the `r`.
+            let mut hashes = 0usize;
+            while self.peek(raw_at + 1 + hashes) == b'#' {
+                hashes += 1;
+            }
+            if self.peek(raw_at + 1 + hashes) != b'"' {
+                // `r#ident` (raw identifier) or stray `r#`.
+                if hashes == 1 && is_ident_start(self.peek(raw_at + 2)) {
+                    self.bump_n(raw_at + 2);
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    return Some(TokenKind::Ident);
+                }
+                return None;
+            }
+            // Consume up to and including the opening quote.
+            self.bump_n(raw_at + 1 + hashes + 1);
+            // Scan for `"` followed by `hashes` hashes.
+            while self.pos < self.bytes.len() {
+                if self.peek(0) == b'"' {
+                    let mut ok = true;
+                    for i in 0..hashes {
+                        if self.peek(1 + i) != b'#' {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        self.bump_n(1 + hashes);
+                        return Some(TokenKind::Str);
+                    }
+                }
+                self.bump();
+            }
+            return Some(TokenKind::Str); // unterminated: to EOF
+        }
+        // b"…" / c"…"
+        self.bump_n(quote_at + 1);
+        self.consume_quoted(b'"');
+        Some(TokenKind::Str)
+    }
+
+    /// Consumes until an unescaped `quote` (inclusive) or EOF.
+    fn consume_quoted(&mut self, quote: u8) {
+        while self.pos < self.bytes.len() {
+            let c = self.peek(0);
+            if c == b'\\' {
+                self.bump_n(2);
+                continue;
+            }
+            self.bump();
+            if c == quote {
+                return;
+            }
+        }
+    }
+
+    /// `'a` vs `'x'` vs `'\n'`.
+    fn lex_quote(&mut self) -> TokenKind {
+        // A lifetime is `'` + ident not followed by a closing `'`.
+        if is_ident_start(self.peek(1)) {
+            let mut i = 1;
+            while is_ident_continue(self.peek(i)) {
+                i += 1;
+            }
+            if self.peek(i) != b'\'' {
+                self.bump_n(i);
+                return TokenKind::Lifetime;
+            }
+        }
+        self.bump(); // opening quote
+        self.consume_quoted(b'\'');
+        TokenKind::Char
+    }
+
+    fn lex_number(&mut self) -> TokenKind {
+        let mut float = false;
+        // Base-prefixed integers consume their digit set and cannot be floats.
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'b' | b'o') {
+            self.bump_n(2);
+            while matches!(self.peek(0), b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F' | b'_') {
+                self.bump();
+            }
+            while is_ident_continue(self.peek(0)) {
+                self.bump(); // suffix like u32
+            }
+            return TokenKind::Int;
+        }
+        while matches!(self.peek(0), b'0'..=b'9' | b'_') {
+            self.bump();
+        }
+        // Fractional part: a `.` followed by a digit, or by nothing
+        // number-like (`1.` but not `1..2` or `1.max()`).
+        if self.peek(0) == b'.' {
+            let after = self.peek(1);
+            if after.is_ascii_digit() {
+                float = true;
+                self.bump();
+                while matches!(self.peek(0), b'0'..=b'9' | b'_') {
+                    self.bump();
+                }
+            } else if after != b'.' && !is_ident_start(after) {
+                float = true;
+                self.bump();
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), b'e' | b'E') {
+            let (s1, s2) = (self.peek(1), self.peek(2));
+            if s1.is_ascii_digit() || (matches!(s1, b'+' | b'-') && s2.is_ascii_digit()) {
+                float = true;
+                self.bump_n(2);
+                while matches!(self.peek(0), b'0'..=b'9' | b'_') {
+                    self.bump();
+                }
+            }
+        }
+        // Suffix (`f64`, `u32`, …).
+        let suffix_start = self.pos;
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        let suffix = self.src.get(suffix_start..self.pos).unwrap_or("");
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+        if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_calls() {
+        let got = kinds("x.unwrap()");
+        assert_eq!(got[0], (TokenKind::Ident, "x".into()));
+        assert_eq!(got[1], (TokenKind::Punct, ".".into()));
+        assert_eq!(got[2], (TokenKind::Ident, "unwrap".into()));
+        assert_eq!(got[3], (TokenKind::Punct, "(".into()));
+        assert_eq!(got[4], (TokenKind::Punct, ")".into()));
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let got = kinds(r#"let s = "a.unwrap() == 1.0";"#);
+        assert!(got
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || (t != "unwrap")));
+        assert_eq!(got.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"r#"contains "quotes" and unwrap()"# + 1"###;
+        let got = kinds(src);
+        assert_eq!(got[0].0, TokenKind::Str);
+        assert_eq!(got[1], (TokenKind::Punct, "+".into()));
+        assert_eq!(got[2].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let got = kinds("/* outer /* inner */ still comment */ x");
+        assert_eq!(got[0].0, TokenKind::BlockComment);
+        assert_eq!(got[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let got = kinds("&'a str; 'x'; '\\n'; b'q'");
+        assert_eq!(got[1].0, TokenKind::Lifetime);
+        assert!(got.iter().filter(|(k, _)| *k == TokenKind::Char).count() == 3);
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        assert_eq!(kinds("1.0")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1e-3")[0].0, TokenKind::Float);
+        assert_eq!(kinds("2f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("7")[0].0, TokenKind::Int);
+        assert_eq!(kinds("0..10")[0].0, TokenKind::Int);
+        assert_eq!(kinds("0..10")[1], (TokenKind::Punct, "..".into()));
+        assert_eq!(kinds("x.0")[2].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn multichar_operators_stay_whole() {
+        let got = kinds("a == b != c :: d || e");
+        let puncts: Vec<&str> = got
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "::", "||"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let got = kinds("r#try + r#\"raw\"#");
+        assert_eq!(got[0], (TokenKind::Ident, "r#try".into()));
+        assert_eq!(got[2].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn unterminated_constructs_reach_eof_without_panic() {
+        for src in ["\"never closed", "/* open", "r#\"open", "'"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # itspq-lint — workspace static analysis for the ITSPQ reproduction
+//!
+//! A self-contained lexical analysis pass that enforces the invariants the
+//! serving roadmap depends on: library code that cannot panic a worker pool,
+//! float orderings that survive NaN, lock guards that never straddle a
+//! cache build, scoped threads, and wall-clock-free algorithm code.
+//!
+//! ## Pipeline
+//!
+//! 1. [`lexer`] tokenises each file (comments, strings and raw strings are
+//!    skipped *correctly* — a `unwrap()` inside a string is not a finding);
+//! 2. [`source`] classifies the file (crate, lib/test/bench/example/vendor)
+//!    and computes `#[cfg(test)]` regions so inline test modules are exempt;
+//! 3. every [`rules::Rule`] scans the token stream and emits
+//!    [`diag::Diagnostic`]s with `file:line:col` positions;
+//! 4. [`allow`] parses `// itspq-lint: allow(<rule>, "<justification>")`
+//!    directives — themselves checked: no justification, unknown rule or a
+//!    stale (unused) allow is an `allow-discipline` error;
+//! 5. [`engine`] aggregates per-file outcomes into a workspace [`Report`].
+//!
+//! ## Rules
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `no-panic-in-lib` | no `unwrap`/`expect`/`panic!`-family in library code of the algorithm crates |
+//! | `float-total-order` | no `partial_cmp(..).unwrap()` chains, no `==`/`!=` against float literals |
+//! | `lock-scope` | no `let`-bound lock guard living across a cache-build or closure call |
+//! | `scoped-threads-only` | no `std::thread::spawn` outside `crates/bench` |
+//! | `no-wall-clock-in-core` | no `Instant`/`SystemTime` in `crates/core` library code |
+//!
+//! See `ARCHITECTURE.md` (§ *Static analysis & invariants*) for the policy
+//! and `cargo run -p itspq-lint -- --list-rules` for the live catalogue.
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use allow::{collect_allows, Allow, ALLOW_RULE};
+pub use diag::{Diagnostic, Severity};
+pub use engine::{collect_workspace_allows, lint_source, lint_workspace, FileOutcome, Report};
+pub use lexer::{lex, Token, TokenKind};
+pub use rules::{all_rules, is_known_rule, Rule};
+pub use source::{classify, FileCtx, FileKind, FileView, LIB_DISCIPLINE_CRATES};

@@ -1,0 +1,141 @@
+//! The `itspq-lint` CLI.
+//!
+//! ```text
+//! itspq-lint [ROOT] [--deny] [--budget-secs N] [--list-rules] [--list-allows]
+//! ```
+//!
+//! * `ROOT` — workspace root to scan (default: the current directory).
+//! * `--deny` — exit non-zero if any diagnostic survives suppression; this
+//!   is the CI mode.
+//! * `--budget-secs N` — fail (exit 2) if the whole run takes longer than
+//!   `N` seconds; CI pins the workspace pass under 5 s so the linter can
+//!   never become the slow job.
+//! * `--list-rules` — print the rule catalogue and exit.
+//! * `--list-allows` — print the workspace's suppression inventory
+//!   (every justified allow with its location and justification) and exit.
+//!
+//! Exit codes: 0 clean (or advisory mode), 1 diagnostics under `--deny`,
+//! 2 usage/I-O error or budget exceeded.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use itspq_lint::{all_rules, collect_workspace_allows, lint_workspace};
+
+struct Args {
+    root: PathBuf,
+    deny: bool,
+    budget_secs: Option<f64>,
+    list_rules: bool,
+    list_allows: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        deny: false,
+        budget_secs: None,
+        list_rules: false,
+        list_allows: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => args.deny = true,
+            "--list-rules" => args.list_rules = true,
+            "--list-allows" => args.list_allows = true,
+            "--budget-secs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--budget-secs needs a value".to_string())?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --budget-secs value `{v}`"))?;
+                args.budget_secs = Some(secs);
+            }
+            "--help" | "-h" => {
+                return Err("usage: itspq-lint [ROOT] [--deny] [--budget-secs N] [--list-rules] [--list-allows]"
+                    .to_string())
+            }
+            other if !other.starts_with('-') => args.root = PathBuf::from(other),
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in all_rules() {
+            println!("{:<22} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.list_allows {
+        match collect_workspace_allows(&args.root) {
+            Ok(allows) => {
+                for (path, a) in &allows {
+                    println!(
+                        "{path}:{}: allow({}) — {}",
+                        a.comment_line, a.rule, a.justification
+                    );
+                }
+                println!("{} allows", allows.len());
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("itspq-lint: cannot scan {}: {e}", args.root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let start = Instant::now();
+    let report = match lint_workspace(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("itspq-lint: cannot scan {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    println!(
+        "itspq-lint: {} files, {} diagnostic{} ({} suppressed by {} justified allow{}), {:.2}s",
+        report.files,
+        report.diagnostics.len(),
+        if report.diagnostics.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.suppressed,
+        report.allows_used,
+        if report.allows_used == 1 { "" } else { "s" },
+        elapsed,
+    );
+
+    if let Some(budget) = args.budget_secs {
+        if elapsed > budget {
+            eprintln!("itspq-lint: runtime {elapsed:.2}s exceeded the {budget:.2}s budget");
+            return ExitCode::from(2);
+        }
+    }
+    if args.deny && !report.is_clean() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,68 @@
+//! The rule engine: one module per rule, a common trait, and the registry.
+//!
+//! Rules are **lexical**: they match token patterns, not types. That makes
+//! them fast (the whole workspace lints in well under a second) and honest —
+//! each rule documents the approximation it makes and every rule can be
+//! silenced per-site with a justified
+//! `// itspq-lint: allow(<rule>, "<why>")`.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::Token;
+use crate::source::FileView;
+
+mod float_total_order;
+mod lock_scope;
+mod no_panic_in_lib;
+mod no_wall_clock_in_core;
+mod scoped_threads_only;
+
+pub use float_total_order::FloatTotalOrder;
+pub use lock_scope::LockScope;
+pub use no_panic_in_lib::NoPanicInLib;
+pub use no_wall_clock_in_core::NoWallClockInCore;
+pub use scoped_threads_only::ScopedThreadsOnly;
+
+/// A lint rule.
+pub trait Rule {
+    /// Kebab-case rule name, as used in allow directives.
+    fn name(&self) -> &'static str;
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+    /// Scans one file and appends findings.
+    fn check(&self, view: &FileView<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// All shipped rules, in reporting order.
+#[must_use]
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoPanicInLib),
+        Box::new(FloatTotalOrder),
+        Box::new(LockScope),
+        Box::new(ScopedThreadsOnly),
+        Box::new(NoWallClockInCore),
+    ]
+}
+
+/// Whether `name` is a shipped rule name.
+#[must_use]
+pub fn is_known_rule(name: &str) -> bool {
+    all_rules().iter().any(|r| r.name() == name)
+}
+
+/// Shared constructor for rule findings.
+pub(crate) fn diag(
+    view: &FileView<'_>,
+    rule: &'static str,
+    tok: &Token,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        rule,
+        severity: Severity::Error,
+        path: view.ctx.path.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
+    }
+}

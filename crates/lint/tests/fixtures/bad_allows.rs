@@ -1,0 +1,16 @@
+//! Fixture: every way a suppression itself can be wrong.
+
+pub fn unjustified(v: &[i32]) -> i32 {
+    // itspq-lint: allow(no-panic-in-lib)
+    *v.first().unwrap()
+}
+
+pub fn unknown_rule(v: &[i32]) -> i32 {
+    // itspq-lint: allow(no-such-rule, "this rule does not exist")
+    *v.first().unwrap()
+}
+
+pub fn stale() -> i32 {
+    // itspq-lint: allow(no-panic-in-lib, "nothing on the next line panics")
+    41 + 1
+}

@@ -1,0 +1,9 @@
+//! Fixture: wall-clock reads in core algorithm code.
+
+use std::time::Instant;
+
+pub fn timed_query(&self) -> f64 {
+    let t0 = Instant::now();
+    let _ = std::time::SystemTime::now();
+    t0.elapsed().as_secs_f64()
+}

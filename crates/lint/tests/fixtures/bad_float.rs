@@ -1,0 +1,17 @@
+//! Fixture: NaN-unsafe float comparisons.
+
+pub fn sort_desc(xs: &mut [f64]) {
+    xs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+}
+
+pub fn sort_asc(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+}
+
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}
+
+pub fn is_not_half(y: f64) -> bool {
+    0.5 != y
+}

@@ -1,0 +1,8 @@
+//! Fixture: a let-bound lock guard held across a cache build.
+
+pub fn rebuild(&self, key: u32) -> View {
+    let guard = self.cache.write();
+    let view = self.build_view(key);
+    guard.insert(key, view.clone());
+    view
+}

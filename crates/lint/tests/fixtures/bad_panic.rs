@@ -1,0 +1,24 @@
+//! Fixture: every shape of the panic family in library code.
+
+pub fn take_first(v: &[i32]) -> i32 {
+    *v.first().unwrap()
+}
+
+pub fn take_second(v: &[i32]) -> i32 {
+    *v.get(1).expect("fixture wants a second element")
+}
+
+pub fn explode(flag: bool) {
+    if flag {
+        panic!("fixture explosion");
+    }
+    unreachable!();
+}
+
+pub fn later() -> i32 {
+    todo!()
+}
+
+pub fn never() -> i32 {
+    unimplemented!()
+}

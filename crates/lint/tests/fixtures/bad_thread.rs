@@ -1,0 +1,5 @@
+//! Fixture: a detached thread outside the bench crate.
+
+pub fn background(work: impl FnOnce() + Send + 'static) {
+    std::thread::spawn(work);
+}

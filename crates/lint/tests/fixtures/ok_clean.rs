@@ -1,0 +1,24 @@
+//! Fixture: the blessed idioms — typed errors, total order, temporary
+//! guards, scoped threads, query-time-only temporal logic.
+
+pub fn first(v: &[i32]) -> Option<i32> {
+    v.first().copied()
+}
+
+pub fn sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn cached(&self, key: u32) -> Option<View> {
+    self.cache.read().get(&key).cloned()
+}
+
+pub fn fan_out(graph: &Graph, queries: &[Query]) -> Vec<Answer> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(8)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(|q| graph.answer(q)).collect()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join()).flatten().collect()
+    })
+}

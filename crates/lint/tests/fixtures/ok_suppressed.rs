@@ -1,0 +1,6 @@
+//! Fixture: a finding silenced by a well-formed, justified allow.
+
+pub fn literal(v: &[i32; 3]) -> i32 {
+    // itspq-lint: allow(no-panic-in-lib, "a [i32; 3] always has a first element")
+    *v.first().unwrap()
+}

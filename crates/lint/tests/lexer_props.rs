@@ -1,0 +1,188 @@
+//! Property tests for the lexer, with a hand-rolled deterministic generator
+//! (the workspace vendors its dependencies, so no `proptest`).
+//!
+//! Properties:
+//!
+//! 1. `lex` is total — no input panics it, including truncated strings,
+//!    unterminated comments and stray non-UTF-8-boundary-safe punctuation;
+//! 2. token spans are in-bounds, non-empty, non-overlapping and sorted;
+//! 3. content wrapped in a string, raw string or comment produces exactly
+//!    one token — nothing inside ever leaks out as an identifier.
+
+use itspq_lint::{lex, TokenKind};
+
+/// SplitMix64: tiny, deterministic, good enough to shuffle fuzz inputs.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick(&mut self, xs: &[&'static str]) -> &'static str {
+        xs[(self.next() % xs.len() as u64) as usize]
+    }
+}
+
+/// Fragments chosen to stress every lexer mode and mode *boundary*.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "unwrap",
+    "expect",
+    "panic",
+    "r",
+    "b",
+    "ident_0",
+    "'a",
+    "'\\n'",
+    "'x'",
+    "0",
+    "1.5",
+    "1e9",
+    "0x_ff",
+    "1f64",
+    "\"str\"",
+    "\"esc\\\"q\"",
+    "\"",
+    "r\"",
+    "r#\"",
+    "\"#",
+    "r##\"",
+    "\"##",
+    "//",
+    "// line\n",
+    "/*",
+    "*/",
+    "/* b */",
+    "/*/",
+    "**/",
+    "\n",
+    " ",
+    "\t",
+    "(",
+    ")",
+    "{",
+    "}",
+    ".",
+    "::",
+    "==",
+    "!=",
+    "!",
+    "#",
+    "\\",
+    "\u{e9}",
+    "\u{4e2d}",
+    ";",
+    ",",
+    "<",
+    ">",
+];
+
+fn random_input(rng: &mut Rng) -> String {
+    let len = (rng.next() % 40) as usize;
+    let mut s = String::new();
+    for _ in 0..len {
+        s.push_str(rng.pick(FRAGMENTS));
+    }
+    s
+}
+
+#[test]
+fn lexing_random_fragment_soup_never_panics_and_spans_are_sane() {
+    let mut rng = Rng(0x1753_9D5E);
+    for case in 0..5_000 {
+        let src = random_input(&mut rng);
+        let tokens = lex(&src);
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            assert!(t.start < t.end, "empty span in case {case}: {src:?}");
+            assert!(t.end <= src.len(), "span out of bounds in case {case}");
+            assert!(
+                t.start >= prev_end,
+                "overlapping tokens in case {case}: {src:?}"
+            );
+            assert!(
+                src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+                "span splits a char in case {case}: {src:?}"
+            );
+            prev_end = t.end;
+        }
+    }
+}
+
+#[test]
+fn lexing_random_bytes_never_panics() {
+    let mut rng = Rng(0xC0FF_EE00);
+    for _ in 0..2_000 {
+        let len = (rng.next() % 64) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next() & 0xFF) as u8).collect();
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = lex(&src);
+    }
+}
+
+#[test]
+fn string_contents_never_leak_tokens() {
+    let mut rng = Rng(0xDEAD_10CC);
+    for _ in 0..2_000 {
+        let inner = random_input(&mut rng)
+            .replace(['"', '\\'], "_")
+            .replace('\n', " ");
+        let src = format!("\"{inner}\"");
+        let tokens = lex(&src);
+        assert_eq!(tokens.len(), 1, "leak from {src:?}: {tokens:?}");
+        assert_eq!(tokens[0].kind, TokenKind::Str);
+        assert_eq!(tokens[0].text(&src), src);
+    }
+}
+
+#[test]
+fn raw_string_contents_never_leak_tokens() {
+    let mut rng = Rng(0x0BAD_5EED);
+    for _ in 0..2_000 {
+        // `"#` inside would close an r#"..."# literal; everything else —
+        // quotes, backslashes, newlines — must stay inside.
+        let inner = random_input(&mut rng).replace("\"#", "_");
+        let src = format!("r#\"{inner}\"#");
+        let tokens = lex(&src);
+        assert_eq!(tokens.len(), 1, "leak from {src:?}: {tokens:?}");
+        assert_eq!(tokens[0].kind, TokenKind::Str);
+    }
+}
+
+#[test]
+fn comment_contents_never_leak_tokens() {
+    let mut rng = Rng(0x00DD_BA11);
+    for _ in 0..2_000 {
+        let soup = random_input(&mut rng);
+        let line_inner = soup.replace('\n', " ");
+        let src = format!("//x {line_inner}");
+        let tokens = lex(&src);
+        assert_eq!(tokens.len(), 1, "leak from {src:?}: {tokens:?}");
+        assert_eq!(tokens[0].kind, TokenKind::LineComment);
+
+        // Block comments nest; strip both delimiters so the comment stays
+        // balanced, then nothing inside may escape.
+        let block_inner = soup.replace("*/", "_").replace("/*", "_");
+        let src = format!("/*x {block_inner} */");
+        let tokens = lex(&src);
+        assert_eq!(tokens.len(), 1, "leak from {src:?}: {tokens:?}");
+        assert_eq!(tokens[0].kind, TokenKind::BlockComment);
+    }
+}
+
+#[test]
+fn truncated_sources_never_panic() {
+    // Cut a gnarly-but-valid source at every char boundary; the lexer must
+    // survive every prefix (unterminated strings, comments, raw strings).
+    let src = r###"fn f() { let s = r##"raw "# inside"##; /* a /* b */ c */
+        let c = '\''; let t = "esc \" done"; } // trailing"###;
+    for (i, _) in src.char_indices() {
+        let _ = lex(&src[..i]);
+    }
+    let _ = lex(src);
+}

@@ -1,0 +1,30 @@
+//! The linter's own acceptance test: the workspace it ships in must pass it.
+//!
+//! This is the same invariant CI enforces with `itspq-lint --deny`, kept as
+//! a plain test so `cargo test` alone catches a regression (a new unwrap in
+//! library code, a stale allow) without the extra CI step.
+
+use std::path::Path;
+
+use itspq_lint::lint_workspace;
+
+#[test]
+fn the_workspace_passes_its_own_linter() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = lint_workspace(&root).expect("workspace root is readable");
+    assert!(
+        report.files > 50,
+        "walker found only {} files — wrong root?",
+        report.files
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(ToString::to_string).collect();
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{}",
+        rendered.join("\n")
+    );
+    // The suppression inventory is in active use (stale allows are errors,
+    // so every counted allow provably silences something).
+    assert!(report.allows_used > 0);
+    assert!(report.suppressed >= report.allows_used);
+}

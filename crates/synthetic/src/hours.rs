@@ -191,18 +191,23 @@ impl ShopHours {
         for _ in 0..k {
             let open = self.opens[rng.random_range(0..self.opens.len())];
             let close = self.closes[rng.random_range(0..self.closes.len())];
-            if open < close {
-                intervals.push(Interval::new(open, close).expect("open < close"));
+            // Inverted draws (open >= close) are simply skipped; Interval::new
+            // rejects them, so the push only happens for well-formed pairs.
+            if let Ok(iv) = Interval::new(open, close) {
+                intervals.push(iv);
             }
         }
         if intervals.is_empty() {
             // All draws were inverted pairs (possible only with exotic pools);
-            // fall back to the latest-open/latest-close pair.
-            let open = *self.opens.iter().min().expect("non-empty opens");
-            let close = *self.closes.iter().max().expect("non-empty closes");
-            intervals.push(Interval::new(open, close).expect("pool opens precede closes"));
+            // fall back to the earliest-open/latest-close pair.
+            if let (Some(&open), Some(&close)) = (self.opens.iter().min(), self.closes.iter().max())
+            {
+                if let Ok(iv) = Interval::new(open, close) {
+                    intervals.push(iv);
+                }
+            }
         }
-        AtiList::from_intervals(intervals).expect("valid intervals")
+        AtiList::from_intervals(intervals).unwrap_or_else(|_| AtiList::never_open())
     }
 
     /// A deterministic RNG for door-ATI assignment derived from the base seed.

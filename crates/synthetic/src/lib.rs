@@ -20,6 +20,8 @@
 //!
 //! Everything is deterministic per seed.
 
+#![forbid(unsafe_code)]
+
 mod floorplan;
 mod hours;
 mod query_gen;

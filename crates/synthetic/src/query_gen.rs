@@ -114,7 +114,10 @@ pub fn generate_queries(graph: &ItGraph, cfg: &QueryGenConfig) -> Vec<GeneratedQ
 
         // 1. Random start point in a random public partition.
         let ps_part = candidates[rng.random_range(0..candidates.len())];
-        let ps = IndoorPoint::new(ps_part, random_point_in(space, ps_part, &mut rng));
+        let Some(ps_pos) = random_point_in(space, ps_part, &mut rng) else {
+            continue;
+        };
+        let ps = IndoorPoint::new(ps_part, ps_pos);
 
         // 2. Temporal-oblivious distances from ps to every door; pick the
         //    door closest to δs2t.
@@ -126,7 +129,7 @@ pub fn generate_queries(graph: &ItGraph, cfg: &QueryGenConfig) -> Vec<GeneratedQ
             .min_by(|(_, a), (_, b)| {
                 let da = (*a - cfg.delta_s2t).abs();
                 let db = (*b - cfg.delta_s2t).abs();
-                da.partial_cmp(&db).expect("finite distances")
+                da.total_cmp(&db)
             })
         else {
             continue;
@@ -145,7 +148,10 @@ pub fn generate_queries(graph: &ItGraph, cfg: &QueryGenConfig) -> Vec<GeneratedQ
                 continue;
             }
             for _ in 0..12 {
-                let pt = IndoorPoint::new(v, random_point_in(space, v, &mut rng));
+                let Some(pos) = random_point_in(space, v, &mut rng) else {
+                    continue;
+                };
+                let pt = IndoorPoint::new(v, pos);
                 // Exact temporal-oblivious distance to pt: best entry door.
                 let d_pt = space
                     .p2d_enterable(v)
@@ -183,12 +189,14 @@ pub fn generate_queries(graph: &ItGraph, cfg: &QueryGenConfig) -> Vec<GeneratedQ
     out
 }
 
-fn random_point_in(space: &indoor_space::IndoorSpace, v: PartitionId, rng: &mut StdRng) -> Point {
-    let poly = space
-        .partition(v)
-        .polygon
-        .as_ref()
-        .expect("candidate partitions carry polygons");
+/// A pseudo-random point inside partition `v`, or `None` when the partition
+/// carries no polygon (such partitions are skipped by the callers).
+fn random_point_in(
+    space: &indoor_space::IndoorSpace,
+    v: PartitionId,
+    rng: &mut StdRng,
+) -> Option<Point> {
+    let poly = space.partition(v).polygon.as_ref()?;
     let (min, max) = poly.bounding_box();
     // Rejection sampling; generated partitions are rectangles, so the first
     // draw almost always lands inside.
@@ -198,10 +206,10 @@ fn random_point_in(space: &indoor_space::IndoorSpace, v: PartitionId, rng: &mut 
             rng.random_range(min.y..=max.y),
         );
         if poly.contains(p) {
-            return p;
+            return Some(p);
         }
     }
-    poly.centroid()
+    Some(poly.centroid())
 }
 
 #[cfg(test)]
