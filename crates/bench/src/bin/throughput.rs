@@ -1,14 +1,33 @@
-//! Multi-threaded throughput on one shared venue: queries/sec vs worker
-//! threads (1–8) for a [`itspq_core::VenueServer`] over the synthetic mall.
+//! Multi-threaded throughput on one shared venue, in two sweeps:
 //!
-//! `--quick` shrinks the venue to a single floor and the batch to 64 queries
-//! for CI; the default is the paper's five-floor mall with a 256-query batch
-//! mixing departure times across the day (so several reduced-graph views are
-//! in play, as in production traffic).
+//! 1. **Worker sweep** — queries/sec vs worker threads (1–8) for a
+//!    [`itspq_core::VenueServer`] on a mixed-time batch;
+//! 2. **Sharing sweep** — queries/sec vs batch size × source skew for
+//!    [`itspq_core::BatchStrategy::Shared`] against `Independent` on the
+//!    *same* zipf-skewed batches: duplicated (source, departure time) pairs
+//!    collapse into one multi-target search each, so shared q/s should grow
+//!    superlinearly with batch size while independent q/s stays flat.
+//!
+//! The default run uses the paper's five-floor mall and writes the committed
+//! `BENCH_throughput.json` baseline plus `results/throughput*.csv`.
+//! `--quick` (wired into CI) shrinks the venue to a single floor, asserts
+//! that sharing still beats independent execution on the most-skewed batch,
+//! and exits non-zero if that batch exceeds a generous wall-clock budget —
+//! the serving-path analogue of `construction --quick`.
 
-use indoor_synthetic::MallConfig;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use indoor_synthetic::{MallConfig, SourceDistribution};
 use indoor_time::TimeOfDay;
-use itspq_bench::{concurrency, Workload};
+use itspq_bench::concurrency::{self, SharingPoint, ThroughputPoint};
+use itspq_bench::Workload;
+
+/// Generous CI budget for one shared pass over the largest quick batch, in
+/// seconds. The measured value on a pinned single-core container is well
+/// under 0.1 s; tripping this means batch serving got ~two orders of
+/// magnitude slower.
+const QUICK_BUDGET_SECS: f64 = 10.0;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -53,7 +72,122 @@ fn main() {
         );
     }
 
-    let path = concurrency::write_csv(&points, std::path::Path::new("results"))
-        .expect("write throughput csv");
+    // Sharing sweep: Shared vs Independent on identical skewed batches.
+    let batch_sizes: &[usize] = if quick { &[16, 64] } else { &[32, 128, 512] };
+    let skews = [
+        SourceDistribution::Uniform,
+        SourceDistribution::Zipf {
+            exponent: 1.0,
+            pool: 16,
+        },
+        SourceDistribution::Zipf {
+            exponent: 1.5,
+            pool: 4,
+        },
+    ];
+    let workers = 4.min(host_cores.max(1));
+    let sharing = concurrency::sharing_sweep(
+        &workload.graph,
+        batch_sizes,
+        &skews,
+        workers,
+        repeats,
+        delta,
+    );
+    println!("\nshared vs independent execution ({workers} workers):");
+    print!("{}", concurrency::sharing_table(&sharing));
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = concurrency::write_csv(&points, Path::new("results")).expect("write throughput csv");
     println!("wrote {}", path.display());
+    let path =
+        concurrency::write_sharing_csv(&sharing, Path::new("results")).expect("write sharing csv");
+    println!("wrote {}", path.display());
+
+    if !quick {
+        let json_path = Path::new("BENCH_throughput.json");
+        std::fs::write(json_path, json_baseline(&points, &sharing, host_cores))
+            .expect("write throughput baseline");
+        println!("wrote {}", json_path.display());
+    }
+
+    if quick {
+        // Tripwire 1: sharing must still pay off on the most-skewed batch.
+        let hottest = sharing
+            .iter()
+            .filter(|p| p.strategy == "shared" && p.skew.starts_with("zipf(1.5"))
+            .max_by_key(|p| p.batch_size)
+            .expect("quick sweep includes the hot zipf series");
+        assert!(
+            hottest.sharing_ratio < 1.0,
+            "sharing regression: the hot zipf batch formed no groups"
+        );
+        assert!(
+            hottest.speedup > 1.0,
+            "sharing regression: shared execution slower than independent \
+             on the hot zipf batch ({:.2}x)",
+            hottest.speedup
+        );
+        // Tripwire 2: absolute wall-clock budget, as in `construction --quick`.
+        assert!(
+            hottest.batch_secs <= QUICK_BUDGET_SECS,
+            "throughput regression: the hot {}-query shared batch took {:.2}s \
+             (budget {QUICK_BUDGET_SECS}s)",
+            hottest.batch_size,
+            hottest.batch_secs
+        );
+        println!(
+            "quick budget ok: hot {}-query shared batch {:.3}s <= {QUICK_BUDGET_SECS}s, \
+             {:.2}x over independent",
+            hottest.batch_size, hottest.batch_secs, hottest.speedup
+        );
+    }
+}
+
+fn json_baseline(
+    workers: &[ThroughputPoint],
+    sharing: &[SharingPoint],
+    host_cores: usize,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"throughput\",");
+    let _ = writeln!(
+        out,
+        "  \"description\": \"VenueServer queries/sec: worker sweep on a mixed-time batch, \
+         then Shared vs Independent batch execution on identical zipf-skewed batches \
+         (sharing_ratio = physical searches per query)\","
+    );
+    let _ = writeln!(out, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(out, "  \"worker_sweep\": [");
+    for (i, p) in workers.iter().enumerate() {
+        let comma = if i + 1 < workers.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"workers\": {}, \"batch_size\": {}, \"batch_secs\": {:.6}, \
+             \"qps\": {:.1}, \"speedup_vs_single\": {:.3}}}{}",
+            p.workers, p.batch_size, p.batch_secs, p.qps, p.speedup, comma
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"sharing_sweep\": [");
+    for (i, p) in sharing.iter().enumerate() {
+        let comma = if i + 1 < sharing.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"strategy\": \"{}\", \"batch_size\": {}, \"skew\": \"{}\", \
+             \"sharing_ratio\": {:.4}, \"batch_secs\": {:.6}, \"qps\": {:.1}, \
+             \"speedup_vs_independent\": {:.3}}}{}",
+            p.strategy,
+            p.batch_size,
+            p.skew,
+            p.sharing_ratio,
+            p.batch_secs,
+            p.qps,
+            p.speedup,
+            comma
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
 }

@@ -13,7 +13,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-use itspq_core::{ItGraph, Query, VenueServer};
+use indoor_synthetic::{generate_queries, QueryGenConfig, SourceDistribution};
+use indoor_time::TimeOfDay;
+use itspq_core::{
+    BatchStrategy, ItGraph, ItspqConfig, Query, ServeMethod, ServerConfig, VenueServer,
+};
 
 /// One measured (worker count → throughput) point.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +87,195 @@ pub fn throughput_sweep(
     points
 }
 
+/// One measured (batch size × source skew × strategy) sharing point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharingPoint {
+    /// `"shared"` or `"independent"`.
+    pub strategy: &'static str,
+    /// Queries per batch.
+    pub batch_size: usize,
+    /// Source distribution label (`"uniform"` or `"zipf(s)@pool"`).
+    pub skew: String,
+    /// Physical searches / queries for this batch under the shared planner
+    /// (1.0 means nothing groups; 0.25 means four queries per search).
+    pub sharing_ratio: f64,
+    /// Mean wall-clock seconds per batch.
+    pub batch_secs: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Shared qps / independent qps on the *same* batch (1.0 for the
+    /// independent row itself).
+    pub speedup: f64,
+}
+
+/// A deterministic skewed batch: `size` queries over two departure times,
+/// sources drawn per `source` (a zipf hot pool duplicates sources, which is
+/// exactly what the shared planner groups on).
+#[must_use]
+pub fn skewed_batch(
+    graph: &ItGraph,
+    size: usize,
+    source: SourceDistribution,
+    delta: f64,
+    seed: u64,
+) -> Vec<Query> {
+    let times = [TimeOfDay::hm(9, 0), TimeOfDay::hm(17, 30)];
+    let mut queries = Vec::with_capacity(size);
+    for (i, t) in times.iter().enumerate() {
+        let count = size / times.len() + usize::from(i < size % times.len());
+        queries.extend(
+            generate_queries(
+                graph,
+                &QueryGenConfig::default()
+                    .with_count(count)
+                    .with_delta(delta)
+                    .with_time(*t)
+                    .with_seed(seed ^ (i as u64))
+                    .with_source(source),
+            )
+            .into_iter()
+            .map(|g| g.query),
+        );
+    }
+    queries
+}
+
+/// Sweeps batch size × source skew, timing [`BatchStrategy::Shared`] against
+/// [`BatchStrategy::Independent`] on identical batches.
+///
+/// Both servers run ITG/A with [`ItspqConfig::full_relax`] (the policy under
+/// which sharing is answer-preserving) and `workers` threads; answers are
+/// asserted equal on the warm-up pass of every point, so the timed deltas
+/// are pure execution-plan effects.
+#[must_use]
+pub fn sharing_sweep(
+    graph: &Arc<ItGraph>,
+    batch_sizes: &[usize],
+    skews: &[SourceDistribution],
+    workers: usize,
+    repeats: usize,
+    delta: f64,
+) -> Vec<SharingPoint> {
+    let repeats = repeats.max(1);
+    let config = |strategy| ServerConfig {
+        workers,
+        method: ServeMethod::Asyn,
+        strategy,
+        itspq: ItspqConfig::full_relax(),
+    };
+    let shared = VenueServer::with_config(Arc::clone(graph), config(BatchStrategy::Shared));
+    let independent =
+        VenueServer::with_config(Arc::clone(graph), config(BatchStrategy::Independent));
+    shared.warm();
+    independent.warm();
+
+    let time_batch = |server: &VenueServer, batch: &[Query]| {
+        let start = Instant::now();
+        for _ in 0..repeats {
+            std::hint::black_box(server.query_batch(std::hint::black_box(batch)));
+        }
+        let secs = start.elapsed().as_secs_f64() / repeats as f64;
+        let qps = if secs > 0.0 {
+            batch.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        };
+        (secs, qps)
+    };
+
+    let mut points = Vec::with_capacity(2 * batch_sizes.len() * skews.len());
+    for &source in skews {
+        let skew_label = match source {
+            SourceDistribution::Uniform => String::from("uniform"),
+            SourceDistribution::Zipf { exponent, pool } => format!("zipf({exponent})@{pool}"),
+        };
+        for (i, &size) in batch_sizes.iter().enumerate() {
+            let batch = skewed_batch(graph, size, source, delta, 0xB47C4 + i as u64);
+            let ratio = {
+                let plan = shared.plan(&batch, false);
+                plan.searches() as f64 / batch.len().max(1) as f64
+            };
+
+            // Untimed warm-up doubling as the answer-parity check.
+            let a = shared.query_batch(&batch);
+            let b = independent.query_batch(&batch);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(
+                    x.path.as_ref().map(|p| p.length),
+                    y.path.as_ref().map(|p| p.length),
+                    "shared and independent execution diverged"
+                );
+            }
+
+            let (ind_secs, ind_qps) = time_batch(&independent, &batch);
+            let (sh_secs, sh_qps) = time_batch(&shared, &batch);
+            points.push(SharingPoint {
+                strategy: "independent",
+                batch_size: batch.len(),
+                skew: skew_label.clone(),
+                sharing_ratio: 1.0,
+                batch_secs: ind_secs,
+                qps: ind_qps,
+                speedup: 1.0,
+            });
+            points.push(SharingPoint {
+                strategy: "shared",
+                batch_size: batch.len(),
+                skew: skew_label.clone(),
+                sharing_ratio: ratio,
+                batch_secs: sh_secs,
+                qps: sh_qps,
+                speedup: sh_qps / ind_qps,
+            });
+        }
+    }
+    points
+}
+
+/// Renders an aligned text table of a sharing sweep.
+#[must_use]
+pub fn sharing_table(points: &[SharingPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>13} {:>7} {:>12} {:>9} {:>12} {:>12} {:>9}",
+        "strategy", "batch", "skew", "searches", "batch_ms", "queries/s", "speedup"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>13} {:>7} {:>12} {:>9.2} {:>12.2} {:>12.0} {:>8.2}x",
+            p.strategy,
+            p.batch_size,
+            p.skew,
+            p.sharing_ratio,
+            p.batch_secs * 1e3,
+            p.qps,
+            p.speedup
+        );
+    }
+    out
+}
+
+/// Writes a sharing sweep as `throughput_sharing.csv` in `dir`.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_sharing_csv(points: &[SharingPoint], dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("throughput_sharing.csv");
+    let mut out = String::from("strategy,batch_size,skew,sharing_ratio,batch_secs,qps,speedup\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.4},{:.6},{:.1},{:.3}",
+            p.strategy, p.batch_size, p.skew, p.sharing_ratio, p.batch_secs, p.qps, p.speedup
+        );
+    }
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
 /// Renders an aligned text table of a sweep.
 #[must_use]
 pub fn table(points: &[ThroughputPoint]) -> String {
@@ -147,5 +340,29 @@ mod tests {
         }
         let rendered = table(&points);
         assert!(rendered.contains("queries/s"));
+    }
+
+    #[test]
+    fn sharing_sweep_groups_under_skew_and_keeps_answers() {
+        let w = Workload::with_mall(MallConfig::single_floor(), 4);
+        let points = sharing_sweep(
+            &w.graph,
+            &[8],
+            &[SourceDistribution::Zipf {
+                exponent: 1.5,
+                pool: 2,
+            }],
+            2,
+            1,
+            600.0,
+        );
+        assert_eq!(points.len(), 2, "one shared and one independent row");
+        let shared = points.iter().find(|p| p.strategy == "shared").unwrap();
+        assert!(
+            shared.sharing_ratio < 1.0,
+            "a hot pool of 2 sources over 8 queries must form groups"
+        );
+        assert!(points.iter().all(|p| p.qps > 0.0));
+        assert!(sharing_table(&points).contains("searches"));
     }
 }

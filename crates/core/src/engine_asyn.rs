@@ -39,13 +39,13 @@
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
-use indoor_space::{DoorId, PartitionId};
-use indoor_time::{Timestamp, Velocity};
+use indoor_space::{DoorId, IndoorPoint, PartitionId};
+use indoor_time::{TimeOfDay, Timestamp, Velocity};
 use parking_lot::RwLock;
 
-use crate::framework::{run_search, TvChecker};
+use crate::framework::{run_search, run_search_targets, TvChecker};
 use crate::{
-    AsynMode, ItGraph, ItspqConfig, Query, QueryError, QueryResult, ReducedGraph, SearchStats,
+    AsynMode, ItGraph, ItspqConfig, Path, Query, QueryError, QueryResult, ReducedGraph, SearchStats,
 };
 
 /// One cache slot: a view built at most once, by whichever thread first
@@ -207,6 +207,46 @@ impl AsynEngine {
     pub fn try_query(&self, query: &Query) -> Result<QueryResult, QueryError> {
         query.validate(self.graph.space())?;
         Ok(self.query(query))
+    }
+
+    /// Answers a whole group of targets from one source with a single shared
+    /// search frontier — the checker (including a `Faithful` cursor) evolves
+    /// through the same door-relaxation sequence as each per-target
+    /// [`query`], so answers are byte-identical under the preconditions of
+    /// [`run_search_targets`] (FullRelax config, traversable-or-source target
+    /// partitions).
+    ///
+    /// [`query`]: AsynEngine::query
+    pub(crate) fn query_targets(
+        &self,
+        source: &IndoorPoint,
+        time: TimeOfDay,
+        targets: &[IndoorPoint],
+    ) -> (Vec<Option<Path>>, SearchStats) {
+        let mut stats0 = SearchStats::default();
+        let t0 = Timestamp::from_time_of_day(time);
+        let current = self.view_for(time, &mut stats0);
+        let mut checker = AsynChecker {
+            engine: self,
+            velocity: self.config.velocity,
+            t0,
+            next_instant: self.graph.space().checkpoints().next_instant(t0),
+            view_bytes: current.heap_bytes(),
+            seen_intervals: vec![current.interval_index()],
+            current,
+            mode: self.config.asyn_mode,
+            pre_stats: stats0,
+        };
+        let (paths, mut stats) = run_search_targets(
+            &self.graph,
+            source,
+            time,
+            targets,
+            &self.config,
+            &mut checker,
+        );
+        stats.views_built += checker.pre_stats.views_built;
+        (paths, stats)
     }
 }
 

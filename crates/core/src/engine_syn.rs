@@ -34,18 +34,19 @@
 
 use std::sync::Arc;
 
-use indoor_space::{DoorId, IndoorSpace, PartitionId};
-use indoor_time::{Timestamp, Velocity};
+use indoor_space::{DoorId, IndoorPoint, IndoorSpace, PartitionId};
+use indoor_time::{TimeOfDay, Timestamp, Velocity};
 
-use crate::framework::{run_search, TvChecker};
-use crate::{ItGraph, ItspqConfig, Query, QueryError, QueryResult, SearchStats};
+use crate::framework::{run_search, run_search_targets, TvChecker};
+use crate::{ItGraph, ItspqConfig, Path, Query, QueryError, QueryResult, SearchStats};
 
 /// `Syn_Check` (Algorithm 2): look up the door's ATIs at the arrival time
-/// `t + dist / velocity`.
-struct SynChecker<'a> {
-    space: &'a IndoorSpace,
-    velocity: Velocity,
-    t0: Timestamp,
+/// `t + dist / velocity`. Shared with [`crate::one_to_many`], whose sweeps
+/// run ITG/S semantics.
+pub(crate) struct SynChecker<'a> {
+    pub(crate) space: &'a IndoorSpace,
+    pub(crate) velocity: Velocity,
+    pub(crate) t0: Timestamp,
 }
 
 impl TvChecker for SynChecker<'_> {
@@ -122,6 +123,34 @@ impl SynEngine {
     pub fn try_query(&self, query: &Query) -> Result<QueryResult, QueryError> {
         query.validate(self.graph.space())?;
         Ok(self.query(query))
+    }
+
+    /// Answers a whole group of targets from one source with a single shared
+    /// search frontier. Callers must uphold the preconditions of
+    /// [`run_search_targets`] (FullRelax config, traversable-or-source target
+    /// partitions); results are then byte-identical to per-target [`query`]
+    /// calls.
+    ///
+    /// [`query`]: SynEngine::query
+    pub(crate) fn query_targets(
+        &self,
+        source: &IndoorPoint,
+        time: TimeOfDay,
+        targets: &[IndoorPoint],
+    ) -> (Vec<Option<Path>>, SearchStats) {
+        let mut checker = SynChecker {
+            space: self.graph.space(),
+            velocity: self.config.velocity,
+            t0: Timestamp::from_time_of_day(time),
+        };
+        run_search_targets(
+            &self.graph,
+            source,
+            time,
+            targets,
+            &self.config,
+            &mut checker,
+        )
     }
 }
 

@@ -15,7 +15,8 @@
 //!   the check fails*, the only reading under which Example 1 returns the
 //!   paper's answer.
 
-use indoor_space::{DoorId, IndoorSpace, PartitionId};
+use indoor_space::{DoorId, IndoorPoint, IndoorSpace, PartitionId};
+use indoor_time::{TimeOfDay, Timestamp};
 
 use crate::heap::{MinHeap, Node};
 use crate::{DoorHop, ExpandPolicy, ItGraph, ItspqConfig, Path, Query, SearchStats};
@@ -134,19 +135,37 @@ pub(crate) fn run_search<C: TvChecker>(
     st.visited_parts[src_p.index()] = true;
     stats.partitions_expanded += 1;
     expand_partition(
-        space, config, query, checker, &mut st, &mut stats, src_p, None, 0.0, &allowed,
+        space,
+        config,
+        &query.source,
+        checker,
+        &mut st,
+        &mut stats,
+        src_p,
+        None,
+        0.0,
+        &allowed,
     );
 
     while let Some(entry) = st.heap.pop() {
         stats.heap_pops += 1;
         let di = match entry.node {
-            Node::Target => {
+            Node::Target(_) => {
                 if entry.dist > st.target_dist {
                     continue; // stale: the target improved after this push
                 }
                 // `reconstruct` is `None` only on a broken predecessor
                 // invariant; degrade to "no such routes" rather than panic.
-                let path = reconstruct(space, query, config, &st, t0);
+                let path = reconstruct(
+                    &query.source,
+                    &query.target,
+                    config,
+                    &st.dist,
+                    &st.prev,
+                    st.target_dist,
+                    st.target_prev,
+                    t0,
+                );
                 stats.search_bytes = st.search_bytes();
                 checker.account(&mut stats);
                 return (path, stats);
@@ -168,7 +187,7 @@ pub(crate) fn run_search<C: TvChecker>(
                 if cand < st.target_dist {
                     st.target_dist = cand;
                     st.target_prev = Some(di);
-                    st.heap.push(cand, Node::Target);
+                    st.heap.push(cand, Node::Target(0));
                     stats.heap_pushes += 1;
                 }
             }
@@ -208,7 +227,7 @@ pub(crate) fn run_search<C: TvChecker>(
             expand_partition(
                 space,
                 config,
-                query,
+                &query.source,
                 checker,
                 &mut st,
                 &mut stats,
@@ -230,7 +249,7 @@ pub(crate) fn run_search<C: TvChecker>(
 fn expand_partition<C: TvChecker>(
     space: &IndoorSpace,
     config: &ItspqConfig,
-    query: &Query,
+    source: &IndoorPoint,
     checker: &mut C,
     st: &mut SearchState,
     stats: &mut SearchStats,
@@ -268,7 +287,7 @@ fn expand_partition<C: TvChecker>(
         // Line 29: dist_j = dist[di] + DM(v, di, dj)  (or |ps, dj| from ps).
         let weight = match from {
             Some(di) => space.door_to_door(v, DoorId(di), dj),
-            None => space.point_to_door(&query.source, dj),
+            None => space.point_to_door(source, dj),
         };
         let Some(weight) = weight else { continue };
         let cand = base_dist + weight;
@@ -300,19 +319,25 @@ fn expand_partition<C: TvChecker>(
 /// Every relaxed door records a predecessor before entering the heap, so the
 /// chain is complete whenever the target has been popped; `None` signals a
 /// broken invariant and the caller answers "no such routes" instead of
-/// unwinding.
+/// unwinding. Shared verbatim by the single-target search and the
+/// multi-target sweep of [`run_search_targets`], so grouped queries assemble
+/// their paths through exactly the code their per-query twins use.
+#[allow(clippy::too_many_arguments)]
 fn reconstruct(
-    _space: &IndoorSpace,
-    query: &Query,
+    source: &IndoorPoint,
+    target: &IndoorPoint,
     config: &ItspqConfig,
-    st: &SearchState,
-    t0: indoor_time::Timestamp,
+    dist: &[f64],
+    prev: &[Option<PrevEntry>],
+    target_dist: f64,
+    target_prev: Option<u32>,
+    t0: Timestamp,
 ) -> Option<Path> {
     let mut doors_rev: Vec<u32> = Vec::new();
-    let mut cur = st.target_prev?;
+    let mut cur = target_prev?;
     loop {
         doors_rev.push(cur);
-        match st.prev[cur as usize]?.from {
+        match prev[cur as usize]?.from {
             Some(p) => cur = p,
             None => break,
         }
@@ -321,8 +346,8 @@ fn reconstruct(
 
     let mut hops = Vec::with_capacity(doors_rev.len());
     for &di in &doors_rev {
-        let p = st.prev[di as usize]?;
-        let d = st.dist[di as usize];
+        let p = prev[di as usize]?;
+        let d = dist[di as usize];
         hops.push(DoorHop {
             door: DoorId(di),
             via_partition: p.via,
@@ -331,13 +356,199 @@ fn reconstruct(
         });
     }
 
-    let length = st.target_dist;
     Some(Path {
-        source: query.source,
-        target: query.target,
+        source: *source,
+        target: *target,
         hops,
+        length: target_dist,
+        departure: t0,
+        arrival: t0 + config.velocity.travel_time(target_dist),
+    })
+}
+
+/// The straight-segment answer for a target sharing the source's partition —
+/// the exact short-circuit `run_search` takes before any expansion.
+fn direct_path(
+    source: &IndoorPoint,
+    target: &IndoorPoint,
+    config: &ItspqConfig,
+    t0: Timestamp,
+) -> Path {
+    let length = source.position.distance(target.position);
+    Path {
+        source: *source,
+        target: *target,
+        hops: Vec::new(),
         length,
         departure: t0,
         arrival: t0 + config.velocity.travel_time(length),
-    })
+    }
+}
+
+/// One shared Dijkstra frontier answering a whole group of targets: the
+/// multi-target generalisation of Algorithm 1 that `VenueServer`'s shared
+/// batch execution and [`crate::one_to_many`] run one group at a time.
+///
+/// Under [`ExpandPolicy::FullRelax`] the door relaxations of Algorithm 1 do
+/// not depend on the target at all (the virtual target node is only ever
+/// *relaxed from* settled doors, never expanded), so a single sweep can carry
+/// any number of targets and each finalises — at its heap pop, exactly as in
+/// its own search — with byte-identical distance, predecessor chain and
+/// checker-state history to the per-query run. The sweep ends when every
+/// target has popped or the frontier is exhausted (`None` = "no such
+/// routes").
+///
+/// Preconditions, enforced by callers (the server's batch planner and
+/// `one_to_many`) and debug-asserted here, because each would reintroduce a
+/// target-dependence that breaks the sharing argument:
+///
+/// * `config.expand` is `FullRelax` — `PaperPruned` prunes doors that enter
+///   the target's partition, differently per target;
+/// * every target's partition is traversable or is the source's own —
+///   Rule 2 exempts `P(pt)`, so a *private* target partition enlarges the
+///   traversable set for that query alone.
+///
+/// Targets sharing the source's partition are answered with the straight
+/// segment, as in the single-target short-circuit.
+pub(crate) fn run_search_targets<C: TvChecker>(
+    graph: &ItGraph,
+    source: &IndoorPoint,
+    time: TimeOfDay,
+    targets: &[IndoorPoint],
+    config: &ItspqConfig,
+    checker: &mut C,
+) -> (Vec<Option<Path>>, SearchStats) {
+    debug_assert!(
+        config.expand == ExpandPolicy::FullRelax,
+        "shared execution requires FullRelax (target-independent relaxations)"
+    );
+    let space = graph.space();
+    let mut stats = SearchStats::default();
+    let t0 = Timestamp::from_time_of_day(time);
+    let src_p = source.partition;
+
+    let mut paths: Vec<Option<Path>> = vec![None; targets.len()];
+    let mut target_dist = vec![f64::INFINITY; targets.len()];
+    let mut target_prev: Vec<Option<u32>> = vec![None; targets.len()];
+    let mut done = vec![false; targets.len()];
+    let mut remaining = 0usize;
+
+    // Doors that can enter each pending target's partition, door-indexed.
+    let mut enters: Vec<Vec<u32>> = vec![Vec::new(); space.num_doors()];
+    for (k, target) in targets.iter().enumerate() {
+        if target.partition == src_p {
+            paths[k] = Some(direct_path(source, target, config, t0));
+            done[k] = true;
+            continue;
+        }
+        debug_assert!(
+            space.partition(target.partition).kind.traversable(),
+            "shared execution requires traversable target partitions"
+        );
+        remaining += 1;
+        for &d in space.p2d_enterable(target.partition) {
+            enters[d.index()].push(k as u32);
+        }
+    }
+    if remaining == 0 {
+        checker.account(&mut stats);
+        return (paths, stats);
+    }
+
+    // The single-target state, reused so `expand_partition` is shared
+    // verbatim; its per-target fields (`enters_target`, `target_dist`,
+    // `target_prev`) stay untouched — this sweep keeps its own per-target
+    // arrays instead.
+    let mut st = SearchState::new(space, src_p);
+
+    // Rule 2 under the preconditions: every partition a route may traverse is
+    // traversable or the source's own (target partitions are traversable).
+    let allowed = |v: PartitionId| -> bool { v == src_p || space.partition(v).kind.traversable() };
+
+    st.visited_parts[src_p.index()] = true;
+    stats.partitions_expanded += 1;
+    expand_partition(
+        space, config, source, checker, &mut st, &mut stats, src_p, None, 0.0, &allowed,
+    );
+
+    while let Some(entry) = st.heap.pop() {
+        stats.heap_pops += 1;
+        let di = match entry.node {
+            Node::Target(k) => {
+                let k = k as usize;
+                if done[k] || entry.dist > target_dist[k] {
+                    continue; // finalised already, or stale after an improvement
+                }
+                paths[k] = reconstruct(
+                    source,
+                    &targets[k],
+                    config,
+                    &st.dist,
+                    &st.prev,
+                    target_dist[k],
+                    target_prev[k],
+                    t0,
+                );
+                done[k] = true;
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+                continue;
+            }
+            Node::Door(i) => i,
+        };
+        if st.settled[di as usize] {
+            continue; // stale heap entry
+        }
+        st.settled[di as usize] = true;
+        stats.doors_settled += 1;
+        let door = DoorId(di);
+        let d_di = st.dist[di as usize];
+
+        // Lines 20–24 per pending target: a settled door entering P(pt)
+        // relaxes that target directly.
+        for &k in &enters[di as usize] {
+            let k = k as usize;
+            if done[k] {
+                continue;
+            }
+            if let Some(pd) = space.point_to_door(&targets[k], door) {
+                let cand = d_di + pd;
+                if cand < target_dist[k] {
+                    target_dist[k] = cand;
+                    target_prev[k] = Some(di);
+                    st.heap.push(cand, Node::Target(k as u32));
+                    stats.heap_pushes += 1;
+                }
+            }
+        }
+
+        // Full relaxation: expand every enterable partition except the one
+        // the door was reached through (see `run_search` for why).
+        let came_from = st.prev[di as usize].map(|p| p.via);
+        for vi in 0..space.d2p_enterable(door).len() {
+            let v = space.d2p_enterable(door)[vi];
+            if !allowed(v) || Some(v) == came_from {
+                continue;
+            }
+            stats.partitions_expanded += 1;
+            expand_partition(
+                space,
+                config,
+                source,
+                checker,
+                &mut st,
+                &mut stats,
+                v,
+                Some(di),
+                d_di,
+                &allowed,
+            );
+        }
+    }
+
+    stats.search_bytes = st.search_bytes() + targets.len() * (std::mem::size_of::<f64>() + 2 + 8);
+    checker.account(&mut stats);
+    (paths, stats)
 }

@@ -5,13 +5,14 @@ use std::collections::BinaryHeap;
 
 use crate::ord::cmp_dist;
 
-/// A node of the search: a door (by dense index) or the query target.
+/// A node of the search: a door (by dense index) or a query target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Node {
     /// A door, by `DoorId::index()`.
     Door(u32),
-    /// The virtual target node `pt`.
-    Target,
+    /// A virtual target node `pt`, by its index within the search's target
+    /// set (always 0 for single-target searches).
+    Target(u32),
 }
 
 /// A heap entry ordered so that `BinaryHeap` (a max-heap) pops the smallest
@@ -43,7 +44,9 @@ impl PartialOrd for Entry {
 fn node_rank(n: Node) -> u64 {
     match n {
         Node::Door(i) => u64::from(i),
-        Node::Target => u64::MAX,
+        // Targets rank after every door (doors settle first on distance
+        // ties); multiple targets tie-break among themselves by index.
+        Node::Target(k) => (1 << 32) + u64::from(k),
     }
 }
 
@@ -82,7 +85,7 @@ mod tests {
         let mut h = MinHeap::new();
         h.push(5.0, Node::Door(1));
         h.push(1.0, Node::Door(2));
-        h.push(3.0, Node::Target);
+        h.push(3.0, Node::Target(0));
         h.push(2.0, Node::Door(0));
         let order: Vec<f64> = std::iter::from_fn(|| h.pop().map(|e| e.dist)).collect();
         assert_eq!(order, vec![1.0, 2.0, 3.0, 5.0]);
@@ -91,12 +94,14 @@ mod tests {
     #[test]
     fn equal_distances_pop_door_before_target_deterministically() {
         let mut h = MinHeap::new();
-        h.push(1.0, Node::Target);
+        h.push(1.0, Node::Target(1));
+        h.push(1.0, Node::Target(0));
         h.push(1.0, Node::Door(7));
         h.push(1.0, Node::Door(3));
         assert_eq!(h.pop().unwrap().node, Node::Door(3));
         assert_eq!(h.pop().unwrap().node, Node::Door(7));
-        assert_eq!(h.pop().unwrap().node, Node::Target);
+        assert_eq!(h.pop().unwrap().node, Node::Target(0));
+        assert_eq!(h.pop().unwrap().node, Node::Target(1));
     }
 
     #[test]

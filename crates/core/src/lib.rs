@@ -98,8 +98,8 @@ pub use engine_syn::SynEngine;
 pub use graph::ItGraph;
 pub use ksp::k_shortest_paths;
 pub use ord::{cmp_dist, cmp_opt_len, min_dist, OrdF64};
-pub use query::{DoorHop, Path, Query, QueryError, QueryOutcome, QueryResult};
+pub use query::{DoorHop, GroupKey, Path, Query, QueryError, QueryOutcome, QueryResult};
 pub use reduced::ReducedGraph;
-pub use server::{ServeMethod, ServerConfig, VenueServer};
-pub use stats::SearchStats;
+pub use server::{BatchPlan, BatchStrategy, ServeMethod, ServerConfig, VenueServer};
+pub use stats::{BatchStats, SearchStats};
 pub use validate::{validate_path, PathViolation};

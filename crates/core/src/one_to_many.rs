@@ -14,9 +14,11 @@
 use indoor_space::{DoorId, IndoorPoint, PartitionId};
 use indoor_time::{TimeOfDay, Timestamp};
 
+use crate::engine_syn::SynChecker;
+use crate::framework::{run_search, run_search_targets};
 use crate::heap::{MinHeap, Node};
 use crate::ord::min_dist;
-use crate::{ItGraph, ItspqConfig};
+use crate::{ExpandPolicy, ItGraph, ItspqConfig, Path, SearchStats};
 
 /// The result of a one-to-many sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +56,100 @@ impl ReachabilityMap {
             .iter()
             .filter(|d| d.is_finite())
             .count()
+    }
+}
+
+/// The result of a one-to-many *path* sweep: full routes to a set of targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetPaths {
+    /// The source point.
+    pub source: IndoorPoint,
+    /// Departure time.
+    pub time: TimeOfDay,
+    /// One slot per requested target, in input order: the valid shortest
+    /// path, or `None` for "no such routes".
+    pub paths: Vec<Option<Path>>,
+    /// Statistics of the single shared search that answered every target.
+    pub stats: SearchStats,
+}
+
+impl TargetPaths {
+    /// Number of targets that received a path.
+    #[must_use]
+    pub fn reached(&self) -> usize {
+        self.paths.iter().filter(|p| p.is_some()).count()
+    }
+}
+
+/// Computes full valid shortest *paths* from `source` at `time` to each of
+/// `targets` with one shared search frontier (ITG/S semantics, full
+/// relaxation — `config.expand` is ignored, exactly as in [`reachability`]).
+///
+/// This is the group primitive behind the server's shared batch execution:
+/// each returned path is byte-identical to the one a per-target
+/// [`crate::SynEngine::query`] under [`ItspqConfig::full_relax`] would
+/// produce, because door relaxations under full relaxation do not depend on
+/// the target set.
+///
+/// Targets in non-traversable partitions other than the source's own are
+/// answered per-target (Rule 2 exempts each query's own `pt`, which a shared
+/// frontier cannot honour for one target without corrupting the others).
+#[must_use]
+pub fn paths_to_many(
+    graph: &ItGraph,
+    source: IndoorPoint,
+    time: TimeOfDay,
+    targets: &[IndoorPoint],
+    config: &ItspqConfig,
+) -> TargetPaths {
+    let space = graph.space();
+    let config = config.with_expand(ExpandPolicy::FullRelax);
+    let t0 = Timestamp::from_time_of_day(time);
+
+    // Split off targets the shared frontier cannot carry (private/outdoor
+    // partitions away from the source): they run as singleton searches.
+    let sharable: Vec<IndoorPoint> = targets
+        .iter()
+        .copied()
+        .filter(|t| {
+            t.partition == source.partition || space.partition(t.partition).kind.traversable()
+        })
+        .collect();
+
+    let mut checker = SynChecker {
+        space,
+        velocity: config.velocity,
+        t0,
+    };
+    let (mut shared_paths, mut stats) =
+        run_search_targets(graph, &source, time, &sharable, &config, &mut checker);
+
+    let mut paths = Vec::with_capacity(targets.len());
+    let mut shared_iter = 0usize;
+    for target in targets {
+        if target.partition == source.partition
+            || space.partition(target.partition).kind.traversable()
+        {
+            paths.push(shared_paths[shared_iter].take());
+            shared_iter += 1;
+        } else {
+            let mut single = SynChecker {
+                space,
+                velocity: config.velocity,
+                t0,
+            };
+            let q = crate::Query::new(source, *target, time);
+            let (path, s) = run_search(graph, &q, &config, &mut single);
+            stats.merge(&s);
+            paths.push(path);
+        }
+    }
+
+    TargetPaths {
+        source,
+        time,
+        paths,
+        stats,
     }
 }
 
@@ -206,6 +302,85 @@ mod tests {
                 assert!(map.to_door(last.door) <= last.distance + 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn paths_to_many_singleton_group_matches_engine_exactly() {
+        // The planner demotes 1-member groups to per-query execution; the
+        // shared primitive must nonetheless agree on them byte for byte.
+        let (ex, g) = setup();
+        let cfg = ItspqConfig::full_relax();
+        let noon = TimeOfDay::hm(12, 0);
+        let tp = paths_to_many(&g, ex.p1, noon, &[ex.p4], &cfg);
+        let single = SynEngine::new(g.clone(), cfg).query(&Query::new(ex.p1, ex.p4, noon));
+        assert_eq!(tp.paths[0], single.path);
+        assert_eq!(tp.reached(), 1);
+    }
+
+    #[test]
+    fn paths_to_many_sealed_source_reaches_only_its_own_partition() {
+        // v1's single door d1 is closed at 4:00: no frontier ever leaves the
+        // source partition, but a same-partition target crosses no door.
+        let (ex, g) = setup();
+        let cfg = ItspqConfig::full_relax();
+        let src = indoor_space::IndoorPoint::new(ex.v(1), indoor_geom::Point::new(5.0, 35.0));
+        let roommate = indoor_space::IndoorPoint::new(ex.v(1), indoor_geom::Point::new(6.0, 35.0));
+        let tp = paths_to_many(
+            &g,
+            src,
+            TimeOfDay::hm(4, 0),
+            &[ex.p3, ex.p4, roommate],
+            &cfg,
+        );
+        assert!(tp.paths[0].is_none());
+        assert!(tp.paths[1].is_none());
+        let direct = tp.paths[2].as_ref().expect("no door crossed");
+        assert!(direct.hops.is_empty());
+        assert_eq!(tp.reached(), 1);
+    }
+
+    #[test]
+    fn paths_to_many_all_targets_unreachable_is_all_none() {
+        // At 23:30 d18 is closed and p4 cannot be reached from p3 (the
+        // paper's Example 1 night case), whichever way it is asked for.
+        let (ex, g) = setup();
+        let cfg = ItspqConfig::full_relax();
+        let tp = paths_to_many(&g, ex.p3, TimeOfDay::hm(23, 30), &[ex.p4, ex.p4], &cfg);
+        assert_eq!(tp.reached(), 0);
+        assert!(tp.paths.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn paths_to_many_duplicate_pairs_answer_identically() {
+        let (ex, g) = setup();
+        let cfg = ItspqConfig::full_relax();
+        let tp = paths_to_many(&g, ex.p3, TimeOfDay::hm(9, 0), &[ex.p4, ex.p2, ex.p4], &cfg);
+        assert!(tp.paths[0].is_some());
+        assert_eq!(tp.paths[0], tp.paths[2]);
+    }
+
+    #[test]
+    fn paths_to_many_private_target_falls_back_per_target() {
+        // A private target partition enlarges Rule 2's traversable set for
+        // that query alone, so it cannot ride the shared frontier — the
+        // fallback must still answer it exactly like a point query.
+        let (ex, g) = setup();
+        let cfg = ItspqConfig::full_relax();
+        let noon = TimeOfDay::hm(12, 0);
+        let private = indoor_space::IndoorPoint::new(ex.v(15), indoor_geom::Point::new(5.0, 0.0));
+        let tp = paths_to_many(&g, ex.p3, noon, &[private, ex.p4], &cfg);
+        let engine = SynEngine::new(g.clone(), cfg);
+        assert!(tp.paths[0].is_some());
+        assert_eq!(
+            tp.paths[0],
+            engine.query(&Query::new(ex.p3, private, noon)).path
+        );
+        assert_eq!(
+            tp.paths[1],
+            engine.query(&Query::new(ex.p3, ex.p4, noon)).path
+        );
+        // The fallback search is folded into the sweep's statistics.
+        assert!(tp.stats.doors_settled > 0);
     }
 
     #[test]

@@ -42,11 +42,15 @@
 //! assert!(answers[1].path.is_none());
 //! ```
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use indoor_space::IndoorPoint;
+
 use crate::{
-    AsynEngine, AsynMode, ItGraph, ItspqConfig, Query, QueryError, QueryResult, SynEngine,
+    AsynEngine, AsynMode, BatchStats, ExpandPolicy, GroupKey, ItGraph, ItspqConfig, Path, Query,
+    QueryError, QueryResult, SearchStats, SynEngine,
 };
 
 /// Which engine answers the server's queries.
@@ -58,6 +62,20 @@ pub enum ServeMethod {
     Asyn,
 }
 
+/// How [`VenueServer::query_batch`] executes a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchStrategy {
+    /// One search per query, exactly as submitted.
+    Independent,
+    /// Group queries by [`GroupKey`] (identical source point and departure
+    /// time) and answer each ≥ 2-member group with a single shared search
+    /// frontier; singleton groups and shared-ineligible queries fall back to
+    /// per-query execution. Answers are byte-identical to `Independent` —
+    /// sharing only happens where the search is provably target-independent
+    /// (see `ARCHITECTURE.md` §Shared execution).
+    Shared,
+}
+
 /// Tunables of a [`VenueServer`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
@@ -65,6 +83,8 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Which engine answers queries.
     pub method: ServeMethod,
+    /// How batches are executed.
+    pub strategy: BatchStrategy,
     /// Engine configuration shared by both methods.
     pub itspq: ItspqConfig,
 }
@@ -72,11 +92,14 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     /// Workers follow the machine (capped at 8); the method is ITG/A in
     /// [`AsynMode::Exact`] — identical answers to ITG/S, but sharing the
-    /// reduced-graph cache across queries and workers.
+    /// reduced-graph cache across queries and workers. The strategy is
+    /// [`BatchStrategy::Shared`]: inert under the default `PaperPruned`
+    /// expansion (sharing requires `FullRelax`), free speedup otherwise.
     fn default() -> Self {
         ServerConfig {
             workers: default_workers(),
             method: ServeMethod::Asyn,
+            strategy: BatchStrategy::Shared,
             itspq: ItspqConfig::default().with_asyn_mode(AsynMode::Exact),
         }
     }
@@ -195,44 +218,289 @@ impl VenueServer {
     /// Answers a batch of queries on up to [`ServerConfig::workers`] threads,
     /// returning results in input order.
     ///
-    /// Workers pull indices off a shared atomic counter, so load balances
-    /// dynamically; per-query results are independent of the worker count and
-    /// of scheduling (the only shared mutable state, the reduced-graph cache,
+    /// Under [`BatchStrategy::Shared`] the batch is first planned into work
+    /// items — shared groups and per-query fallbacks (see [`plan`]) — and
+    /// workers pull *items* off a shared atomic counter; under
+    /// [`BatchStrategy::Independent`] every item is one query. Either way the
+    /// answers are the same and independent of the worker count and of
+    /// scheduling (the only shared mutable state, the reduced-graph cache,
     /// affects timing, never answers).
+    ///
+    /// Queries that fail validation are executed raw, exactly as
+    /// [`VenueServer::query`] would (degrading to "no such routes" rather
+    /// than panicking); use [`VenueServer::try_query_batch`] to surface them
+    /// as [`QueryError`] values instead.
+    ///
+    /// [`plan`]: VenueServer::plan
     #[must_use]
     pub fn query_batch(&self, queries: &[Query]) -> Vec<QueryResult> {
-        let workers = self.config.workers.clamp(1, queries.len().max(1));
-        if workers == 1 {
-            return queries.iter().map(|q| self.query(q)).collect();
-        }
+        self.query_batch_with_stats(queries).0
+    }
 
-        let next = AtomicUsize::new(0);
-        let mut indexed: Vec<(usize, QueryResult)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(q) = queries.get(i) else { break };
-                            local.push((i, self.query(q)));
-                        }
-                        local
+    /// [`VenueServer::query_batch`] plus the batch-level execution report.
+    #[must_use]
+    pub fn query_batch_with_stats(&self, queries: &[Query]) -> (Vec<QueryResult>, BatchStats) {
+        let (results, stats) = self.execute_batch(queries, false);
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("raw batches never reject")) // itspq-lint: allow(no-panic-in-lib, "execute_batch only emits Rejected items when reject_malformed is true; this call passes false")
+            .collect();
+        (results, stats)
+    }
+
+    /// Answers a batch with validation: malformed queries come back as
+    /// [`QueryError`] values (no search runs for them), well-formed ones as
+    /// their [`QueryResult`], all in input order.
+    #[must_use = "the per-query errors must be inspected"]
+    pub fn try_query_batch(&self, queries: &[Query]) -> Vec<Result<QueryResult, QueryError>> {
+        self.try_query_batch_with_stats(queries).0
+    }
+
+    /// [`VenueServer::try_query_batch`] plus the batch-level execution report.
+    #[must_use = "the per-query errors must be inspected"]
+    pub fn try_query_batch_with_stats(
+        &self,
+        queries: &[Query],
+    ) -> (Vec<Result<QueryResult, QueryError>>, BatchStats) {
+        self.execute_batch(queries, true)
+    }
+
+    /// Plans a batch into work items. Exposed for tests and capacity
+    /// dashboards; [`VenueServer::query_batch`] calls it internally.
+    ///
+    /// A query joins a shared group only when every sharing precondition
+    /// holds (strategy, `FullRelax` expansion, validity, traversable-or-same
+    /// target partition — see [`BatchStrategy::Shared`]); groups that end up
+    /// with a single member are demoted to per-query items, so a plan's
+    /// groups always amortise at least two queries.
+    #[must_use]
+    pub fn plan(&self, queries: &[Query], reject_malformed: bool) -> BatchPlan {
+        let space = self.graph.space();
+        let sharing = self.config.strategy == BatchStrategy::Shared
+            && self.config.itspq.expand == ExpandPolicy::FullRelax;
+
+        let mut items: Vec<WorkItem> = Vec::with_capacity(queries.len());
+        let mut group_of: HashMap<GroupKey, usize> = HashMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            match q.validate(space) {
+                Err(e) if reject_malformed => {
+                    items.push(WorkItem::Rejected(i, e));
+                    continue;
+                }
+                Err(_) => {
+                    // Raw mode: run it unvalidated like `query` would, but
+                    // never share it (a NaN key would alias distinct
+                    // searches).
+                    items.push(WorkItem::Single(i));
+                    continue;
+                }
+                Ok(()) => {}
+            }
+            let tp = q.target.partition;
+            let sharable =
+                sharing && (tp == q.source.partition || space.partition(tp).kind.traversable());
+            if !sharable {
+                items.push(WorkItem::Single(i));
+                continue;
+            }
+            let gi = *group_of.entry(GroupKey::of(q, space)).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[gi].push(i);
+        }
+        for members in groups {
+            if members.len() == 1 {
+                items.push(WorkItem::Single(members[0]));
+            } else {
+                items.push(WorkItem::Group(members));
+            }
+        }
+        BatchPlan {
+            queries: queries.len(),
+            items,
+        }
+    }
+
+    /// Runs one planned work item, appending `(input index, answer)` pairs to
+    /// `out` and returning the reduced views it built (counted once per
+    /// physical search, so batch totals do not double-count group members).
+    fn run_item(
+        &self,
+        queries: &[Query],
+        item: &WorkItem,
+        out: &mut Vec<(usize, Result<QueryResult, QueryError>)>,
+    ) -> usize {
+        match item {
+            WorkItem::Rejected(i, e) => {
+                out.push((*i, Err(*e)));
+                0
+            }
+            WorkItem::Single(i) => {
+                let r = self.query(&queries[*i]);
+                let views = r.stats.views_built;
+                out.push((*i, Ok(r)));
+                views
+            }
+            WorkItem::Group(members) => {
+                let lead = &queries[members[0]];
+                let targets: Vec<IndoorPoint> =
+                    members.iter().map(|&i| queries[i].target).collect();
+                let (paths, stats) = self.query_targets(&lead.source, lead.time, &targets);
+                let views = stats.views_built;
+                for (&i, path) in members.iter().zip(paths) {
+                    // Every member reports the group's (single) search: the
+                    // work its answer actually cost. Summing member stats
+                    // therefore overcounts a shared batch — sum per *search*
+                    // via `BatchStats` instead.
+                    out.push((i, Ok(QueryResult { path, stats })));
+                }
+                views
+            }
+        }
+    }
+
+    /// One shared frontier for a whole group (see `framework.rs` for the
+    /// target-independence argument that makes this byte-identical to
+    /// per-query execution).
+    fn query_targets(
+        &self,
+        source: &IndoorPoint,
+        time: indoor_time::TimeOfDay,
+        targets: &[IndoorPoint],
+    ) -> (Vec<Option<Path>>, SearchStats) {
+        match self.config.method {
+            ServeMethod::Syn => self.syn.query_targets(source, time, targets),
+            ServeMethod::Asyn => self.asyn.query_targets(source, time, targets),
+        }
+    }
+
+    /// The planner + scatter behind every batch entry point.
+    fn execute_batch(
+        &self,
+        queries: &[Query],
+        reject_malformed: bool,
+    ) -> (Vec<Result<QueryResult, QueryError>>, BatchStats) {
+        let plan = self.plan(queries, reject_malformed);
+        let mut stats = plan.stats();
+        let items = &plan.items;
+        let workers = self.config.workers.clamp(1, items.len().max(1));
+
+        let mut indexed: Vec<(usize, Result<QueryResult, QueryError>)>;
+        if workers == 1 {
+            indexed = Vec::with_capacity(queries.len());
+            for item in items {
+                stats.views_built += self.run_item(queries, item, &mut indexed);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let per_worker: Vec<(Vec<_>, usize)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            let mut views = 0;
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(item) = items.get(i) else { break };
+                                views += self.run_item(queries, item, &mut local);
+                            }
+                            (local, views)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| match h.join() {
-                    Ok(local) => local,
-                    // Re-raise a worker's panic with its original payload
-                    // instead of wrapping it in a second panic here.
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(local) => local,
+                        // Re-raise a worker's panic with its original payload
+                        // instead of wrapping it in a second panic here.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .collect()
+            });
+            indexed = Vec::with_capacity(queries.len());
+            for (local, views) in per_worker {
+                indexed.extend(local);
+                stats.views_built += views;
+            }
+        }
         indexed.sort_unstable_by_key(|&(i, _)| i);
-        indexed.into_iter().map(|(_, r)| r).collect()
+        (indexed.into_iter().map(|(_, r)| r).collect(), stats)
+    }
+}
+
+/// One unit of batch work: a single query or a shared group.
+#[derive(Debug, Clone, PartialEq)]
+enum WorkItem {
+    /// Run `queries[i]` on its own (unvalidated, like [`VenueServer::query`]).
+    Single(usize),
+    /// `queries[i]` failed validation; answer with the error, run nothing.
+    Rejected(usize, QueryError),
+    /// Answer all member queries with one shared frontier. Invariants: ≥ 2
+    /// members, identical [`GroupKey`]s, all shared-eligible.
+    Group(Vec<usize>),
+}
+
+/// The planner's output: how a batch will be executed.
+///
+/// Produced by [`VenueServer::plan`]; mostly useful for asserting sharing
+/// behaviour in tests and for capacity telemetry.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    queries: usize,
+    items: Vec<WorkItem>,
+}
+
+impl BatchPlan {
+    /// Number of physical searches this plan will run (groups + singles).
+    #[must_use]
+    pub fn searches(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| !matches!(i, WorkItem::Rejected(..)))
+            .count()
+    }
+
+    /// Number of shared (≥ 2 member) groups.
+    #[must_use]
+    pub fn shared_groups(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| matches!(i, WorkItem::Group(_)))
+            .count()
+    }
+
+    /// Number of queries answered by shared groups.
+    #[must_use]
+    pub fn shared_queries(&self) -> usize {
+        self.items
+            .iter()
+            .map(|i| match i {
+                WorkItem::Group(m) => m.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The batch-level report this plan implies (`views_built` is filled in
+    /// during execution).
+    #[must_use]
+    pub fn stats(&self) -> BatchStats {
+        let rejected = self
+            .items
+            .iter()
+            .filter(|i| matches!(i, WorkItem::Rejected(..)))
+            .count();
+        BatchStats {
+            queries: self.queries,
+            groups: self.searches(),
+            shared_queries: self.shared_queries(),
+            frontier_reuses: self.shared_queries() - self.shared_groups(),
+            rejected,
+            views_built: 0,
+        }
     }
 }
 
@@ -345,5 +613,104 @@ mod tests {
             server.cached_views(),
             "each checkpoint interval must be built exactly once server-wide"
         );
+    }
+
+    /// A server with sharing actually engaged: `FullRelax` expansion.
+    fn sharing_server(ex: &paper_example::PaperExample) -> VenueServer {
+        let config = ServerConfig {
+            itspq: ItspqConfig::full_relax().with_asyn_mode(AsynMode::Exact),
+            ..ServerConfig::default()
+        };
+        VenueServer::with_config(ItGraph::shared(ex.space.clone()), config)
+    }
+
+    /// Four queries sharing p3@9:00, one singleton and one private-partition
+    /// fallback.
+    fn skewed_batch(ex: &paper_example::PaperExample) -> Vec<Query> {
+        let nine = TimeOfDay::hm(9, 0);
+        let private = indoor_space::IndoorPoint::new(ex.v(15), indoor_geom::Point::new(5.0, 0.0));
+        vec![
+            Query::new(ex.p3, ex.p4, nine),
+            Query::new(ex.p3, ex.p2, nine),
+            Query::new(ex.p1, ex.p2, TimeOfDay::hm(12, 0)), // singleton source
+            Query::new(ex.p3, private, nine),               // private target: fallback
+            Query::new(ex.p3, ex.p1, nine),
+            Query::new(ex.p3, ex.p4, nine), // duplicate (source, target) pair
+        ]
+    }
+
+    #[test]
+    fn plan_groups_by_identical_source_and_time() {
+        let ex = paper_example::build();
+        let server = sharing_server(&ex);
+        let plan = server.plan(&skewed_batch(&ex), false);
+        // One 4-member group (p3@9:00 with traversable targets), plus the
+        // singleton source and the private-target fallback.
+        assert_eq!(plan.shared_groups(), 1);
+        assert_eq!(plan.shared_queries(), 4);
+        assert_eq!(plan.searches(), 3);
+        let stats = plan.stats();
+        assert_eq!(stats.frontier_reuses, 3);
+        assert!((stats.sharing_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_pruned_config_never_shares() {
+        // The default server config keeps the paper's pruned expansion, under
+        // which sharing is inert: every query plans as its own search.
+        let ex = paper_example::build();
+        let server = VenueServer::new(ItGraph::shared(ex.space.clone()));
+        let plan = server.plan(&skewed_batch(&ex), false);
+        assert_eq!(plan.shared_groups(), 0);
+        assert_eq!(plan.searches(), 6);
+    }
+
+    #[test]
+    fn shared_answers_are_byte_identical_to_independent() {
+        let ex = paper_example::build();
+        let shared = sharing_server(&ex).with_workers(3);
+        let mut config = *shared.config();
+        config.strategy = BatchStrategy::Independent;
+        let independent = VenueServer::with_config(ItGraph::shared(ex.space.clone()), config);
+        let batch = skewed_batch(&ex);
+        let a = shared.query_batch(&batch);
+        let b = independent.query_batch(&batch);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.path, y.path, "paths diverge at batch index {i}");
+        }
+    }
+
+    #[test]
+    fn batch_stats_report_sharing_and_views() {
+        let ex = paper_example::build();
+        let server = sharing_server(&ex);
+        let (answers, stats) = server.query_batch_with_stats(&skewed_batch(&ex));
+        assert_eq!(answers.len(), 6);
+        assert_eq!(stats.queries, 6);
+        assert_eq!(stats.groups, 3);
+        assert_eq!(stats.shared_queries, 4);
+        // Views are counted once per physical search, never per group member.
+        assert_eq!(stats.views_built, server.cached_views());
+    }
+
+    #[test]
+    fn try_query_batch_rejects_in_place() {
+        let ex = paper_example::build();
+        let server = sharing_server(&ex);
+        let nan =
+            indoor_space::IndoorPoint::new(ex.p3.partition, indoor_geom::Point::new(f64::NAN, 2.0));
+        let batch = vec![
+            Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0)),
+            Query::new(nan, ex.p4, TimeOfDay::hm(9, 0)),
+            Query::new(ex.p3, ex.p2, TimeOfDay::hm(9, 0)),
+        ];
+        let (results, stats) = server.try_query_batch_with_stats(&batch);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+        assert_eq!(stats.rejected, 1);
+        // The two well-formed queries still share one frontier.
+        assert_eq!(stats.groups, 1);
+        assert_eq!(stats.frontier_reuses, 1);
     }
 }

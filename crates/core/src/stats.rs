@@ -51,6 +51,25 @@ impl SearchStats {
     pub fn estimated_kb(&self) -> f64 {
         self.estimated_bytes() as f64 / 1024.0
     }
+
+    /// Folds another search's counters into this one (sums, except
+    /// `peak_heap` which takes the maximum) — used when one logical request
+    /// spans several physical searches.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.heap_pushes += other.heap_pushes;
+        self.heap_pops += other.heap_pops;
+        self.peak_heap = self.peak_heap.max(other.peak_heap);
+        self.doors_settled += other.doors_settled;
+        self.partitions_expanded += other.partitions_expanded;
+        self.relaxations += other.relaxations;
+        self.improvements += other.improvements;
+        self.tv_checks += other.tv_checks;
+        self.tv_rejections += other.tv_rejections;
+        self.graph_updates += other.graph_updates;
+        self.views_built += other.views_built;
+        self.search_bytes += other.search_bytes;
+        self.reduced_graph_bytes += other.reduced_graph_bytes;
+    }
 }
 
 impl std::fmt::Display for SearchStats {
@@ -71,9 +90,95 @@ impl std::fmt::Display for SearchStats {
     }
 }
 
+/// How a [`crate::VenueServer`] executed one batch: the planner's grouping
+/// outcome and the work the shared frontiers saved.
+///
+/// `groups / queries` is the sharing ratio — 1.0 means no sharing happened
+/// (every group was a singleton or fell back); the lower the ratio, the more
+/// searches were amortised.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Queries in the batch (malformed ones included).
+    pub queries: usize,
+    /// Physical searches executed: shared groups plus per-query fallbacks.
+    /// Equal to `queries` under [`crate::BatchStrategy::Independent`].
+    pub groups: usize,
+    /// Queries answered by a shared (≥ 2 member) group frontier.
+    pub shared_queries: usize,
+    /// Frontier reuses: query answers that did *not* pay their own search
+    /// (`queries - groups`, counting malformed queries as zero-cost).
+    pub frontier_reuses: usize,
+    /// Queries rejected by validation before any search ran.
+    pub rejected: usize,
+    /// ITG/A reduced views actually built over the whole batch.
+    pub views_built: usize,
+}
+
+impl BatchStats {
+    /// Physical searches per query (1.0 = no sharing; lower is better).
+    #[must_use]
+    pub fn sharing_ratio(&self) -> f64 {
+        if self.queries == 0 {
+            1.0
+        } else {
+            self.groups as f64 / self.queries as f64
+        }
+    }
+}
+
+impl std::fmt::Display for BatchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} queries in {} searches (ratio {:.2}, {} shared, {} reuses, {} rejected)",
+            self.queries,
+            self.groups,
+            self.sharing_ratio(),
+            self.shared_queries,
+            self.frontier_reuses,
+            self.rejected,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_sums_counters_and_maxes_peak() {
+        let mut a = SearchStats {
+            heap_pushes: 3,
+            peak_heap: 5,
+            search_bytes: 100,
+            ..SearchStats::default()
+        };
+        let b = SearchStats {
+            heap_pushes: 4,
+            peak_heap: 2,
+            search_bytes: 50,
+            ..SearchStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.heap_pushes, 7);
+        assert_eq!(a.peak_heap, 5);
+        assert_eq!(a.search_bytes, 150);
+    }
+
+    #[test]
+    fn sharing_ratio_counts_searches_per_query() {
+        let s = BatchStats {
+            queries: 8,
+            groups: 2,
+            shared_queries: 8,
+            frontier_reuses: 6,
+            ..BatchStats::default()
+        };
+        assert!((s.sharing_ratio() - 0.25).abs() < 1e-12);
+        assert!(s.to_string().contains("ratio 0.25"));
+        // An empty batch shares nothing.
+        assert!((BatchStats::default().sharing_ratio() - 1.0).abs() < 1e-12);
+    }
 
     #[test]
     fn bytes_aggregate() {

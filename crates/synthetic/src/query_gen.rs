@@ -13,6 +13,29 @@ use itspq_core::{baselines, ItGraph, Query};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+/// How query start points are distributed across the venue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SourceDistribution {
+    /// A fresh uniform-random start point per query (the paper's §III-1
+    /// setup).
+    Uniform,
+    /// Start points drawn from a fixed pool of popular locations with
+    /// zipf-shaped popularity: pool rank `k` is chosen with probability
+    /// proportional to `1 / (k + 1)^exponent`.
+    ///
+    /// Repeated draws of a rank return the *bit-identical* point (mall
+    /// entrances, food courts — the heavy hitters of production traffic), so
+    /// skewed batches contain exact-duplicate sources and form shareable
+    /// groups for `VenueServer`'s shared batch execution.
+    Zipf {
+        /// Skew exponent `s ≥ 0` (0 = uniform over the pool; production
+        /// traffic studies typically fit 0.6–1.5).
+        exponent: f64,
+        /// Number of distinct popular start points (≥ 1).
+        pool: usize,
+    },
+}
+
 /// Parameters of query generation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryGenConfig {
@@ -27,6 +50,8 @@ pub struct QueryGenConfig {
     pub tolerance: f64,
     /// Base RNG seed.
     pub seed: u64,
+    /// How start points are distributed (default: uniform, as in the paper).
+    pub source: SourceDistribution,
 }
 
 impl Default for QueryGenConfig {
@@ -37,6 +62,7 @@ impl Default for QueryGenConfig {
             time: TimeOfDay::hm(12, 0),
             tolerance: 0.10,
             seed: 0x9E0_5EED,
+            source: SourceDistribution::Uniform,
         }
     }
 }
@@ -67,6 +93,13 @@ impl QueryGenConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the given source distribution.
+    #[must_use]
+    pub fn with_source(mut self, source: SourceDistribution) -> Self {
+        self.source = source;
         self
     }
 }
@@ -101,6 +134,40 @@ pub fn generate_queries(graph: &ItGraph, cfg: &QueryGenConfig) -> Vec<GeneratedQ
         "venue has no public partitions with polygons"
     );
 
+    // For zipf-skewed sources: a fixed pool of popular points plus the
+    // cumulative rank weights Σ 1/(k+1)^s, both deterministic per seed.
+    let (pool_points, zipf_cum) = match cfg.source {
+        SourceDistribution::Uniform => (Vec::new(), Vec::new()),
+        SourceDistribution::Zipf { exponent, pool } => {
+            assert!(pool >= 1, "zipf pool must hold at least one point");
+            assert!(
+                exponent >= 0.0 && exponent.is_finite(),
+                "zipf exponent must be finite and non-negative"
+            );
+            let mut points = Vec::with_capacity(pool);
+            let mut draw = 0u64;
+            while points.len() < pool {
+                assert!(
+                    draw < 64 * pool as u64,
+                    "could not populate a {pool}-point source pool"
+                );
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0x5EED_F00D + draw));
+                draw += 1;
+                let part = candidates[rng.random_range(0..candidates.len())];
+                if let Some(pos) = random_point_in(space, part, &mut rng) {
+                    points.push(IndoorPoint::new(part, pos));
+                }
+            }
+            let mut cum = Vec::with_capacity(pool);
+            let mut total = 0.0;
+            for k in 0..pool {
+                total += ((k + 1) as f64).powf(-exponent);
+                cum.push(total);
+            }
+            (points, cum)
+        }
+    };
+
     let mut out = Vec::with_capacity(cfg.count);
     let mut attempt = 0u64;
     while out.len() < cfg.count {
@@ -112,12 +179,24 @@ pub fn generate_queries(graph: &ItGraph, cfg: &QueryGenConfig) -> Vec<GeneratedQ
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xA11CE + attempt));
         attempt += 1;
 
-        // 1. Random start point in a random public partition.
-        let ps_part = candidates[rng.random_range(0..candidates.len())];
-        let Some(ps_pos) = random_point_in(space, ps_part, &mut rng) else {
-            continue;
+        // 1. A start point: fresh uniform draw, or a zipf-ranked pool member.
+        let ps = match cfg.source {
+            SourceDistribution::Uniform => {
+                let ps_part = candidates[rng.random_range(0..candidates.len())];
+                let Some(ps_pos) = random_point_in(space, ps_part, &mut rng) else {
+                    continue;
+                };
+                IndoorPoint::new(ps_part, ps_pos)
+            }
+            SourceDistribution::Zipf { .. } => {
+                let total = *zipf_cum.last().expect("non-empty pool"); // itspq-lint: allow(no-panic-in-lib, "the Zipf arm above asserts pool >= 1 and pushes exactly one cumulative weight per rank")
+                let u = rng.random_range(0.0..total);
+                let rank = zipf_cum
+                    .partition_point(|&c| c <= u)
+                    .min(pool_points.len() - 1);
+                pool_points[rank]
+            }
         };
-        let ps = IndoorPoint::new(ps_part, ps_pos);
 
         // 2. Temporal-oblivious distances from ps to every door; pick the
         //    door closest to δs2t.
@@ -261,6 +340,76 @@ mod tests {
             for gq in &queries {
                 assert!((gq.realised_distance - delta).abs() <= 0.1 * delta);
             }
+        }
+    }
+
+    #[test]
+    fn zipf_sources_repeat_bit_identically_and_skew() {
+        let graph = mall_graph();
+        let cfg = QueryGenConfig::default()
+            .with_count(16)
+            .with_source(SourceDistribution::Zipf {
+                exponent: 1.5,
+                pool: 6,
+            });
+        let queries = generate_queries(&graph, &cfg);
+        assert_eq!(queries.len(), 16);
+
+        // Count queries per exact source bit pattern.
+        let mut counts: Vec<((u64, u64), usize)> = Vec::new();
+        for gq in &queries {
+            let key = (
+                gq.query.source.position.x.to_bits(),
+                gq.query.source.position.y.to_bits(),
+            );
+            match counts.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((key, 1)),
+            }
+        }
+        // Skew shape: far fewer distinct sources than queries, and the
+        // heaviest source dominates (zipf s = 1.5 puts > 55 % of the mass on
+        // rank 0 of a 6-point pool).
+        assert!(
+            counts.len() < queries.len(),
+            "zipf sources must repeat bit-identically"
+        );
+        let heaviest = counts.iter().map(|&(_, c)| c).max().unwrap();
+        assert!(
+            heaviest >= queries.len() / 4,
+            "rank-0 source should dominate, saw max multiplicity {heaviest}"
+        );
+    }
+
+    #[test]
+    fn zipf_generation_is_deterministic_per_seed() {
+        let graph = mall_graph();
+        let zipf = SourceDistribution::Zipf {
+            exponent: 1.2,
+            pool: 4,
+        };
+        let cfg = QueryGenConfig::default().with_count(6).with_source(zipf);
+        let a = generate_queries(&graph, &cfg);
+        let b = generate_queries(&graph, &cfg);
+        assert_eq!(a, b);
+        let c = generate_queries(&graph, &cfg.with_seed(99));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_sources_rarely_collide() {
+        // The uniform baseline the skew test is contrasted against: fresh
+        // draws essentially never produce bit-identical sources.
+        let graph = mall_graph();
+        let queries = generate_queries(&graph, &QueryGenConfig::default().with_count(8));
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        for gq in &queries {
+            let key = (
+                gq.query.source.position.x.to_bits(),
+                gq.query.source.position.y.to_bits(),
+            );
+            assert!(!seen.contains(&key), "uniform sources collided");
+            seen.push(key);
         }
     }
 

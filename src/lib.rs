@@ -54,7 +54,8 @@ pub mod prelude {
         WALKING_SPEED,
     };
     pub use itspq_core::{
-        AsynEngine, AsynMode, DoorHop, ExpandPolicy, ItGraph, ItspqConfig, Path, Query,
-        QueryOutcome, SearchStats, ServeMethod, ServerConfig, SynEngine, VenueServer,
+        AsynEngine, AsynMode, BatchStats, BatchStrategy, DoorHop, ExpandPolicy, ItGraph,
+        ItspqConfig, Path, Query, QueryError, QueryOutcome, SearchStats, ServeMethod, ServerConfig,
+        SynEngine, VenueServer,
     };
 }

@@ -9,6 +9,7 @@ use itspq_repro::core::server::{ServeMethod, VenueServer};
 use itspq_repro::prelude::*;
 use itspq_repro::synthetic::{
     build_mall, generate_queries, HoursConfig, MallConfig, QueryGenConfig, ShopHours,
+    SourceDistribution,
 };
 
 fn mall_graph(cfg: MallConfig) -> Arc<ItGraph> {
@@ -120,6 +121,92 @@ fn reduced_graph_cache_is_populated_once_not_per_worker() {
     // Warm server: a second pass builds nothing at all.
     let again = server.query_batch(&queries);
     assert!(again.iter().all(|r| r.stats.views_built == 0));
+}
+
+#[test]
+fn threads_submitting_overlapping_skewed_batches_stay_in_input_order() {
+    // The shared-execution deployment shape: many front-end handlers each
+    // submitting zipf-skewed batches to one server whose planner groups
+    // duplicate (source, time) pairs into single multi-target searches.
+    let graph = mall_graph(MallConfig::single_floor());
+    let sharing_config = |workers| ServerConfig {
+        workers,
+        method: ServeMethod::Asyn,
+        strategy: BatchStrategy::Shared,
+        itspq: ItspqConfig::full_relax(),
+    };
+
+    // Zipf-skewed sources from a hot pool of 3: heavy duplication makes the
+    // planner form multi-member groups in every batch.
+    let batches: Vec<Vec<Query>> = [(9, 0), (12, 0), (18, 30), (21, 15)]
+        .into_iter()
+        .enumerate()
+        .map(|(i, (h, m))| {
+            generate_queries(
+                &graph,
+                &QueryGenConfig::default()
+                    .with_count(12)
+                    .with_delta(600.0)
+                    .with_time(TimeOfDay::hm(h, m))
+                    .with_seed(90 + i as u64)
+                    .with_source(SourceDistribution::Zipf {
+                        exponent: 1.5,
+                        pool: 3,
+                    }),
+            )
+            .into_iter()
+            .map(|g| g.query)
+            .collect()
+        })
+        .collect();
+
+    let server = VenueServer::with_config(graph.clone(), sharing_config(4));
+    for b in &batches {
+        assert!(
+            server.plan(b, false).shared_queries() >= 2,
+            "zipf-skewed batches must actually form shared groups"
+        );
+    }
+
+    // Per-query reference answers, one per (batch, input index).
+    let reference: Vec<Vec<Option<Path>>> = batches
+        .iter()
+        .map(|b| b.iter().map(|q| server.query(q).path).collect())
+        .collect();
+
+    // Four external threads hammer the one server with overlapping batches,
+    // each starting at a different rotation so distinct batches are in
+    // flight simultaneously; every result must land at its input index.
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let (server, batches, reference) = (&server, &batches, &reference);
+            scope.spawn(move || {
+                for round in 0..batches.len() {
+                    let b = (t + round) % batches.len();
+                    let got = server.query_batch(&batches[b]);
+                    assert_eq!(got.len(), batches[b].len());
+                    for (i, r) in got.iter().enumerate() {
+                        assert_eq!(
+                            r.path, reference[b][i],
+                            "thread {t} batch {b} answer out of place at {i}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // Worker-count independence: 1 and 2 workers agree with the 4-worker
+    // answers (and with the per-query reference) path for path.
+    for workers in [1, 2] {
+        let alt = VenueServer::with_config(graph.clone(), sharing_config(workers));
+        for (b, expect) in batches.iter().zip(&reference) {
+            let got = alt.query_batch(b);
+            for (r, e) in got.iter().zip(expect) {
+                assert_eq!(&r.path, e);
+            }
+        }
+    }
 }
 
 #[test]
