@@ -2,25 +2,27 @@
 //!
 //! 1. **Worker sweep** — queries/sec vs worker threads (1–8) for a
 //!    [`itspq_core::VenueServer`] on a mixed-time batch;
-//! 2. **Sharing sweep** — queries/sec vs batch size × source skew for
-//!    [`itspq_core::BatchStrategy::Shared`] against `Independent` on the
-//!    *same* zipf-skewed batches: duplicated (source, departure time) pairs
-//!    collapse into one multi-target search each, so shared q/s should grow
-//!    superlinearly with batch size while independent q/s stays flat.
+//! 2. **Sharing sweep** — queries/sec vs batch size × traffic shape for
+//!    every sharing level ([`itspq_core::BatchStrategy`] `Shared`,
+//!    `SharedDoor`, `SharedInterval`) against `Independent` on the *same*
+//!    batches: exact-duplicate (source, time) pairs collapse at every level,
+//!    while partition-clustered sources with jittered departures collapse
+//!    only under door-level grouping and interval coalescing.
 //!
 //! The default run uses the paper's five-floor mall and writes the committed
 //! `BENCH_throughput.json` baseline plus `results/throughput*.csv`.
-//! `--quick` (wired into CI) shrinks the venue to a single floor, asserts
-//! that sharing still beats independent execution on the most-skewed batch,
-//! and exits non-zero if that batch exceeds a generous wall-clock budget —
-//! the serving-path analogue of `construction --quick`.
+//! `--quick` (wired into CI) shrinks the venue to a single floor, asserts a
+//! minimum realised grouping ratio per sharing level on its natural batch
+//! shape (and that ratios are monotone as keys coarsen), and exits non-zero
+//! if the hot batch exceeds a generous wall-clock budget — the serving-path
+//! analogue of `construction --quick`.
 
 use std::fmt::Write as _;
 use std::path::Path;
 
-use indoor_synthetic::{MallConfig, SourceDistribution};
+use indoor_synthetic::MallConfig;
 use indoor_time::TimeOfDay;
-use itspq_bench::concurrency::{self, SharingPoint, ThroughputPoint};
+use itspq_bench::concurrency::{self, SharingPoint, ThroughputPoint, TrafficShape};
 use itspq_bench::Workload;
 
 /// Generous CI budget for one shared pass over the largest quick batch, in
@@ -72,29 +74,24 @@ fn main() {
         );
     }
 
-    // Sharing sweep: Shared vs Independent on identical skewed batches.
+    // Sharing sweep: every sharing level vs Independent on identical batches.
     let batch_sizes: &[usize] = if quick { &[16, 64] } else { &[32, 128, 512] };
-    let skews = [
-        SourceDistribution::Uniform,
-        SourceDistribution::Zipf {
-            exponent: 1.0,
-            pool: 16,
-        },
-        SourceDistribution::Zipf {
-            exponent: 1.5,
-            pool: 4,
-        },
+    let shapes = [
+        TrafficShape::uniform(),
+        TrafficShape::zipf_exact(1.5, 4),
+        TrafficShape::door_clustered(1.5, 4),
+        TrafficShape::clustered(1.5, 4, 180.0),
     ];
     let workers = 4.min(host_cores.max(1));
     let sharing = concurrency::sharing_sweep(
         &workload.graph,
         batch_sizes,
-        &skews,
+        &shapes,
         workers,
         repeats,
         delta,
     );
-    println!("\nshared vs independent execution ({workers} workers):");
+    println!("\nsharing levels vs independent execution ({workers} workers):");
     print!("{}", concurrency::sharing_table(&sharing));
 
     std::fs::create_dir_all("results").expect("create results dir");
@@ -112,23 +109,67 @@ fn main() {
     }
 
     if quick {
-        // Tripwire 1: sharing must still pay off on the most-skewed batch.
-        let hottest = sharing
-            .iter()
-            .filter(|p| p.strategy == "shared" && p.skew.starts_with("zipf(1.5"))
-            .max_by_key(|p| p.batch_size)
-            .expect("quick sweep includes the hot zipf series");
-        assert!(
-            hottest.sharing_ratio < 1.0,
-            "sharing regression: the hot zipf batch formed no groups"
-        );
+        let hot = |strategy: &str, skew: &str| -> &SharingPoint {
+            sharing
+                .iter()
+                .filter(|p| p.strategy == strategy && p.skew == skew)
+                .max_by_key(|p| p.batch_size)
+                .expect("quick sweep includes every (strategy, shape) series")
+        };
+        // Tripwire 1: each sharing level must realise grouping on its
+        // natural batch shape — exact keys on bit-identical zipf duplicates,
+        // door keys on partition-clustered sources, interval keys on
+        // clustered sources with jittered departures.
+        for (strategy, skew) in [
+            ("shared", "zipf-exact"),
+            ("shared-door", "door-clustered"),
+            ("shared-interval", "clustered"),
+        ] {
+            let p = hot(strategy, skew);
+            assert!(
+                p.sharing_ratio < 1.0,
+                "sharing regression: {strategy} formed no groups on its {skew} batch"
+            );
+        }
+        // Tripwire 2: coarser keys can only merge more — plan ratios must be
+        // monotone by level on every shape and batch size.
+        for p in sharing.iter().filter(|p| p.strategy == "shared") {
+            let door = sharing
+                .iter()
+                .find(|q| {
+                    q.strategy == "shared-door" && q.skew == p.skew && q.batch_size == p.batch_size
+                })
+                .expect("door row exists for every shared row");
+            let interval = sharing
+                .iter()
+                .find(|q| {
+                    q.strategy == "shared-interval"
+                        && q.skew == p.skew
+                        && q.batch_size == p.batch_size
+                })
+                .expect("interval row exists for every shared row");
+            assert!(
+                interval.sharing_ratio <= door.sharing_ratio
+                    && door.sharing_ratio <= p.sharing_ratio,
+                "plan-ratio monotonicity broke on {} batch of {}: \
+                 exact {:.3}, door {:.3}, interval {:.3}",
+                p.skew,
+                p.batch_size,
+                p.sharing_ratio,
+                door.sharing_ratio,
+                interval.sharing_ratio
+            );
+        }
+        // Tripwire 3: exact sharing must still beat independent execution on
+        // the bit-identical hot batch (the levels above it only merge more).
+        let hottest = hot("shared", "zipf-exact");
         assert!(
             hottest.speedup > 1.0,
             "sharing regression: shared execution slower than independent \
              on the hot zipf batch ({:.2}x)",
             hottest.speedup
         );
-        // Tripwire 2: absolute wall-clock budget, as in `construction --quick`.
+        // Tripwire 4: absolute wall-clock budget, as in `construction --quick`.
         assert!(
             hottest.batch_secs <= QUICK_BUDGET_SECS,
             "throughput regression: the hot {}-query shared batch took {:.2}s \
@@ -137,8 +178,9 @@ fn main() {
             hottest.batch_secs
         );
         println!(
-            "quick budget ok: hot {}-query shared batch {:.3}s <= {QUICK_BUDGET_SECS}s, \
-             {:.2}x over independent",
+            "quick tripwires ok: per-level grouping realised, plan ratios \
+             monotone, hot {}-query shared batch {:.3}s <= {QUICK_BUDGET_SECS}s \
+             at {:.2}x over independent",
             hottest.batch_size, hottest.batch_secs, hottest.speedup
         );
     }
@@ -154,7 +196,9 @@ fn json_baseline(
     let _ = writeln!(
         out,
         "  \"description\": \"VenueServer queries/sec: worker sweep on a mixed-time batch, \
-         then Shared vs Independent batch execution on identical zipf-skewed batches \
+         then every sharing level (Shared, SharedDoor, SharedInterval) vs Independent on \
+         identical batches across traffic shapes — uniform, zipf-exact duplicates, \
+         door-clustered sources, clustered sources with jittered departures \
          (sharing_ratio = physical searches per query)\","
     );
     let _ = writeln!(out, "  \"host_cores\": {host_cores},");

@@ -13,7 +13,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-use indoor_synthetic::{generate_queries, QueryGenConfig, SourceDistribution};
+use indoor_synthetic::{generate_queries, QueryGenConfig, SourceDistribution, TimeDistribution};
 use indoor_time::TimeOfDay;
 use itspq_core::{
     BatchStrategy, ItGraph, ItspqConfig, Query, ServeMethod, ServerConfig, VenueServer,
@@ -87,35 +87,109 @@ pub fn throughput_sweep(
     points
 }
 
-/// One measured (batch size × source skew × strategy) sharing point.
+/// One measured (batch size × traffic shape × sharing level) point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SharingPoint {
-    /// `"shared"` or `"independent"`.
+    /// Sharing level label (see [`strategy_label`]).
     pub strategy: &'static str,
     /// Queries per batch.
     pub batch_size: usize,
-    /// Source distribution label (`"uniform"` or `"zipf(s)@pool"`).
+    /// Traffic-shape label (e.g. `"uniform"`, `"zipf-exact"`,
+    /// `"clustered"`).
     pub skew: String,
-    /// Physical searches / queries for this batch under the shared planner
+    /// Physical searches / queries for this batch under this level's planner
     /// (1.0 means nothing groups; 0.25 means four queries per search).
     pub sharing_ratio: f64,
     /// Mean wall-clock seconds per batch.
     pub batch_secs: f64,
     /// Queries per second.
     pub qps: f64,
-    /// Shared qps / independent qps on the *same* batch (1.0 for the
+    /// This level's qps / independent qps on the *same* batch (1.0 for the
     /// independent row itself).
     pub speedup: f64,
 }
 
-/// A deterministic skewed batch: `size` queries over two departure times,
-/// sources drawn per `source` (a zipf hot pool duplicates sources, which is
-/// exactly what the shared planner groups on).
+/// The stable label of a sharing level in tables, CSVs and baselines.
+#[must_use]
+pub fn strategy_label(strategy: BatchStrategy) -> &'static str {
+    match strategy {
+        BatchStrategy::Independent => "independent",
+        BatchStrategy::Shared => "shared",
+        BatchStrategy::SharedDoor => "shared-door",
+        BatchStrategy::SharedInterval => "shared-interval",
+    }
+}
+
+/// A named traffic shape: how sources and departure times cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficShape {
+    /// Stable label used in tables and baselines.
+    pub label: &'static str,
+    /// Source-point distribution.
+    pub source: SourceDistribution,
+    /// Departure-time distribution.
+    pub times: TimeDistribution,
+}
+
+impl TrafficShape {
+    /// Fresh uniform sources, two fixed departure times — nothing to share.
+    #[must_use]
+    pub fn uniform() -> Self {
+        TrafficShape {
+            label: "uniform",
+            source: SourceDistribution::Uniform,
+            times: TimeDistribution::Fixed,
+        }
+    }
+
+    /// Bit-identical zipf sources at fixed times: what exact-key
+    /// ([`BatchStrategy::Shared`]) grouping collapses.
+    #[must_use]
+    pub fn zipf_exact(exponent: f64, pool: usize) -> Self {
+        TrafficShape {
+            label: "zipf-exact",
+            source: SourceDistribution::Zipf { exponent, pool },
+            times: TimeDistribution::Fixed,
+        }
+    }
+
+    /// Partition-clustered (but distinct) sources at fixed times: invisible
+    /// to exact keys, collapsed by door-level grouping (and everything
+    /// coarser).
+    #[must_use]
+    pub fn door_clustered(exponent: f64, pool: usize) -> Self {
+        TrafficShape {
+            label: "door-clustered",
+            source: SourceDistribution::ZipfNear { exponent, pool },
+            times: TimeDistribution::Fixed,
+        }
+    }
+
+    /// Partition-clustered (but distinct) sources with departure times
+    /// jittered inside hot windows: invisible to exact keys, collapsed by
+    /// door-level grouping and interval coalescing.
+    #[must_use]
+    pub fn clustered(exponent: f64, pool: usize, spread_secs: f64) -> Self {
+        TrafficShape {
+            label: "clustered",
+            source: SourceDistribution::ZipfNear { exponent, pool },
+            times: TimeDistribution::HotSpots {
+                exponent,
+                pool,
+                spread_secs,
+            },
+        }
+    }
+}
+
+/// A deterministic skewed batch: `size` queries over two departure times
+/// (hot-spot shapes override the times per draw), sources and times drawn
+/// per `shape`.
 #[must_use]
 pub fn skewed_batch(
     graph: &ItGraph,
     size: usize,
-    source: SourceDistribution,
+    shape: TrafficShape,
     delta: f64,
     seed: u64,
 ) -> Vec<Query> {
@@ -131,7 +205,8 @@ pub fn skewed_batch(
                     .with_delta(delta)
                     .with_time(*t)
                     .with_seed(seed ^ (i as u64))
-                    .with_source(source),
+                    .with_source(shape.source)
+                    .with_times(shape.times),
             )
             .into_iter()
             .map(|g| g.query),
@@ -140,10 +215,10 @@ pub fn skewed_batch(
     queries
 }
 
-/// Sweeps batch size × source skew, timing [`BatchStrategy::Shared`] against
-/// [`BatchStrategy::Independent`] on identical batches.
+/// Sweeps batch size × traffic shape × sharing level, timing every
+/// [`BatchStrategy`] against `Independent` on identical batches.
 ///
-/// Both servers run ITG/A with [`ItspqConfig::full_relax`] (the policy under
+/// All servers run ITG/A with [`ItspqConfig::full_relax`] (the policy under
 /// which sharing is answer-preserving) and `workers` threads; answers are
 /// asserted equal on the warm-up pass of every point, so the timed deltas
 /// are pure execution-plan effects.
@@ -151,7 +226,7 @@ pub fn skewed_batch(
 pub fn sharing_sweep(
     graph: &Arc<ItGraph>,
     batch_sizes: &[usize],
-    skews: &[SourceDistribution],
+    shapes: &[TrafficShape],
     workers: usize,
     repeats: usize,
     delta: f64,
@@ -163,11 +238,22 @@ pub fn sharing_sweep(
         strategy,
         itspq: ItspqConfig::full_relax(),
     };
-    let shared = VenueServer::with_config(Arc::clone(graph), config(BatchStrategy::Shared));
+    let levels = [
+        BatchStrategy::Shared,
+        BatchStrategy::SharedDoor,
+        BatchStrategy::SharedInterval,
+    ];
     let independent =
         VenueServer::with_config(Arc::clone(graph), config(BatchStrategy::Independent));
-    shared.warm();
     independent.warm();
+    let servers: Vec<(BatchStrategy, VenueServer)> = levels
+        .iter()
+        .map(|&s| {
+            let server = VenueServer::with_config(Arc::clone(graph), config(s));
+            server.warm();
+            (s, server)
+        })
+        .collect();
 
     let time_batch = |server: &VenueServer, batch: &[Query]| {
         let start = Instant::now();
@@ -183,50 +269,47 @@ pub fn sharing_sweep(
         (secs, qps)
     };
 
-    let mut points = Vec::with_capacity(2 * batch_sizes.len() * skews.len());
-    for &source in skews {
-        let skew_label = match source {
-            SourceDistribution::Uniform => String::from("uniform"),
-            SourceDistribution::Zipf { exponent, pool } => format!("zipf({exponent})@{pool}"),
-        };
+    let mut points = Vec::with_capacity((1 + levels.len()) * batch_sizes.len() * shapes.len());
+    for &shape in shapes {
         for (i, &size) in batch_sizes.iter().enumerate() {
-            let batch = skewed_batch(graph, size, source, delta, 0xB47C4 + i as u64);
-            let ratio = {
-                let plan = shared.plan(&batch, false);
-                plan.searches() as f64 / batch.len().max(1) as f64
-            };
-
-            // Untimed warm-up doubling as the answer-parity check.
-            let a = shared.query_batch(&batch);
-            let b = independent.query_batch(&batch);
-            for (x, y) in a.iter().zip(&b) {
-                assert_eq!(
-                    x.path.as_ref().map(|p| p.length),
-                    y.path.as_ref().map(|p| p.length),
-                    "shared and independent execution diverged"
-                );
-            }
-
+            let batch = skewed_batch(graph, size, shape, delta, 0xB47C4 + i as u64);
+            let reference = independent.query_batch(&batch); // untimed warm-up
             let (ind_secs, ind_qps) = time_batch(&independent, &batch);
-            let (sh_secs, sh_qps) = time_batch(&shared, &batch);
             points.push(SharingPoint {
-                strategy: "independent",
+                strategy: strategy_label(BatchStrategy::Independent),
                 batch_size: batch.len(),
-                skew: skew_label.clone(),
+                skew: shape.label.to_string(),
                 sharing_ratio: 1.0,
                 batch_secs: ind_secs,
                 qps: ind_qps,
                 speedup: 1.0,
             });
-            points.push(SharingPoint {
-                strategy: "shared",
-                batch_size: batch.len(),
-                skew: skew_label.clone(),
-                sharing_ratio: ratio,
-                batch_secs: sh_secs,
-                qps: sh_qps,
-                speedup: sh_qps / ind_qps,
-            });
+            for (strategy, server) in &servers {
+                let ratio = {
+                    let plan = server.plan(&batch, false);
+                    plan.searches() as f64 / batch.len().max(1) as f64
+                };
+                // Untimed warm-up doubling as the answer-parity check.
+                let a = server.query_batch(&batch);
+                for (x, y) in a.iter().zip(&reference) {
+                    assert_eq!(
+                        x.path.as_ref().map(|p| p.length),
+                        y.path.as_ref().map(|p| p.length),
+                        "{} diverged from independent execution",
+                        strategy_label(*strategy),
+                    );
+                }
+                let (secs, qps) = time_batch(server, &batch);
+                points.push(SharingPoint {
+                    strategy: strategy_label(*strategy),
+                    batch_size: batch.len(),
+                    skew: shape.label.to_string(),
+                    sharing_ratio: ratio,
+                    batch_secs: secs,
+                    qps,
+                    speedup: qps / ind_qps,
+                });
+            }
         }
     }
     points
@@ -348,15 +431,12 @@ mod tests {
         let points = sharing_sweep(
             &w.graph,
             &[8],
-            &[SourceDistribution::Zipf {
-                exponent: 1.5,
-                pool: 2,
-            }],
+            &[TrafficShape::zipf_exact(1.5, 2)],
             2,
             1,
             600.0,
         );
-        assert_eq!(points.len(), 2, "one shared and one independent row");
+        assert_eq!(points.len(), 4, "independent plus three sharing levels");
         let shared = points.iter().find(|p| p.strategy == "shared").unwrap();
         assert!(
             shared.sharing_ratio < 1.0,
@@ -364,5 +444,38 @@ mod tests {
         );
         assert!(points.iter().all(|p| p.qps > 0.0));
         assert!(sharing_table(&points).contains("searches"));
+    }
+
+    #[test]
+    fn clustered_traffic_groups_only_at_coarser_levels() {
+        let w = Workload::with_mall(MallConfig::single_floor(), 4);
+        let points = sharing_sweep(
+            &w.graph,
+            &[10],
+            &[TrafficShape::clustered(1.5, 2, 120.0)],
+            2,
+            1,
+            600.0,
+        );
+        let ratio = |label: &str| {
+            points
+                .iter()
+                .find(|p| p.strategy == label)
+                .map(|p| p.sharing_ratio)
+                .unwrap()
+        };
+        // Coarser keys can only merge more: ratios are monotone by level.
+        assert!(ratio("shared-door") <= ratio("shared"));
+        assert!(ratio("shared-interval") <= ratio("shared-door"));
+        // Distinct points in hot partitions with jittered times: door-level
+        // needs identical instants (rare under a 120 s spread), interval
+        // coalescing must realise sharing.
+        assert!(
+            ratio("shared-interval") < 1.0,
+            "clustered traffic must group at interval level, ratios: shared {} door {} interval {}",
+            ratio("shared"),
+            ratio("shared-door"),
+            ratio("shared-interval"),
+        );
     }
 }

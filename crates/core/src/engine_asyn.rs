@@ -43,7 +43,7 @@ use indoor_space::{DoorId, IndoorPoint, PartitionId};
 use indoor_time::{TimeOfDay, Timestamp, Velocity};
 use parking_lot::RwLock;
 
-use crate::framework::{run_search, run_search_targets, TvChecker};
+use crate::framework::{run_search, run_search_targets, SweepObserver, TvChecker};
 use crate::{
     AsynMode, ItGraph, ItspqConfig, Path, Query, QueryError, QueryResult, ReducedGraph, SearchStats,
 };
@@ -222,6 +222,7 @@ impl AsynEngine {
         source: &IndoorPoint,
         time: TimeOfDay,
         targets: &[IndoorPoint],
+        observer: &mut SweepObserver,
     ) -> (Vec<Option<Path>>, SearchStats) {
         let mut stats0 = SearchStats::default();
         let t0 = Timestamp::from_time_of_day(time);
@@ -244,6 +245,7 @@ impl AsynEngine {
             targets,
             &self.config,
             &mut checker,
+            observer,
         );
         stats.views_built += checker.pre_stats.views_built;
         (paths, stats)

@@ -37,7 +37,7 @@ use std::sync::Arc;
 use indoor_space::{DoorId, IndoorPoint, IndoorSpace, PartitionId};
 use indoor_time::{TimeOfDay, Timestamp, Velocity};
 
-use crate::framework::{run_search, run_search_targets, TvChecker};
+use crate::framework::{run_search, run_search_targets, SweepObserver, TvChecker};
 use crate::{ItGraph, ItspqConfig, Path, Query, QueryError, QueryResult, SearchStats};
 
 /// `Syn_Check` (Algorithm 2): look up the door's ATIs at the arrival time
@@ -137,6 +137,7 @@ impl SynEngine {
         source: &IndoorPoint,
         time: TimeOfDay,
         targets: &[IndoorPoint],
+        observer: &mut SweepObserver,
     ) -> (Vec<Option<Path>>, SearchStats) {
         let mut checker = SynChecker {
             space: self.graph.space(),
@@ -150,6 +151,7 @@ impl SynEngine {
             targets,
             &self.config,
             &mut checker,
+            observer,
         )
     }
 }

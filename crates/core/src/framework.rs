@@ -36,11 +36,99 @@ pub(crate) trait TvChecker {
 
 /// Predecessor of a relaxed door.
 #[derive(Debug, Clone, Copy)]
-struct PrevEntry {
+pub(crate) struct PrevEntry {
     /// Partition crossed to reach the door.
-    via: PartitionId,
+    pub(crate) via: PartitionId,
     /// Previous door index, or `None` when coming directly from `ps`.
-    from: Option<u32>,
+    pub(crate) from: Option<u32>,
+}
+
+/// One recorded decision of a multi-target sweep, in execution order.
+///
+/// The trace is the *lead* query's complete decision log: every heap pop
+/// (stale ones included), every door relaxation with its weight and
+/// `TV_Check` outcome, every target relaxation. `crate::replay` re-derives a
+/// group member's own search from it, substituting only the member-specific
+/// inputs (source legs, departure time) and verifying each decision — any
+/// divergence aborts the replay and the member falls back to per-query
+/// execution.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TraceEvent {
+    /// An entry left the priority queue. `stale` mirrors the sweep's skip
+    /// logic (door already settled / target already finalised or improved).
+    Pop { node: Node, stale: bool },
+    /// A door relaxation attempt (Algorithm 1 lines 29–34) that had a weight.
+    /// `from == None` is a source-leg relaxation (`|ps, dj|`), the only
+    /// member-specific weight; `arrival` is the lead's projected arrival fed
+    /// to `TV_Check`, `open` its verdict, `improved` line 31's comparison.
+    Relax {
+        door: u32,
+        from: Option<u32>,
+        via: PartitionId,
+        weight: f64,
+        arrival: Timestamp,
+        open: bool,
+        improved: bool,
+    },
+    /// The lead had no source→door geodesic, so no relaxation was attempted.
+    /// A member that *does* have one would diverge structurally — replay must
+    /// verify the absence.
+    SourceLegMissing { door: u32 },
+    /// A settled door relaxed pending target `k` (lines 20–24).
+    RelaxTarget {
+        k: u32,
+        door: u32,
+        weight: f64,
+        improved: bool,
+    },
+}
+
+/// Decision recorder for [`run_search_targets`]: an optional full event
+/// trace (door-level replay) and/or a running minimum of the margin between
+/// each checked arrival and its next checkpoint (interval-coalescing
+/// certificate). Both default to off, making the observer free on the
+/// per-query path.
+#[derive(Debug)]
+pub(crate) struct SweepObserver {
+    /// Record the full [`TraceEvent`] stream.
+    record: bool,
+    /// Track `min_margin_secs` across every `TV_Check` arrival.
+    track_margin: bool,
+    /// The recorded events (empty unless `record`).
+    pub(crate) events: Vec<TraceEvent>,
+    /// Smallest margin (seconds) from any checked arrival to its next
+    /// checkpoint; `f64::INFINITY` when no check happened. A member whose
+    /// departure lags the lead's by strictly less than this margin (minus a
+    /// rounding slack) certifiably makes the identical `TV_Check` decisions.
+    pub(crate) min_margin_secs: f64,
+}
+
+impl SweepObserver {
+    /// An inert observer: records nothing, tracks nothing.
+    pub(crate) fn off() -> Self {
+        Self::new(false, false)
+    }
+
+    pub(crate) fn new(record: bool, track_margin: bool) -> Self {
+        SweepObserver {
+            record,
+            track_margin,
+            events: Vec::new(),
+            min_margin_secs: f64::INFINITY,
+        }
+    }
+
+    #[inline]
+    fn active(&self) -> bool {
+        self.record || self.track_margin
+    }
+
+    #[inline]
+    fn push(&mut self, ev: TraceEvent) {
+        if self.record {
+            self.events.push(ev);
+        }
+    }
 }
 
 struct SearchState {
@@ -125,6 +213,7 @@ pub(crate) fn run_search<C: TvChecker>(
     }
 
     let mut st = SearchState::new(space, dst_p);
+    let mut observer = SweepObserver::off();
 
     // Rule 2: private partitions may be traversed only if they contain ps/pt.
     let allowed = |v: PartitionId| -> bool {
@@ -145,6 +234,8 @@ pub(crate) fn run_search<C: TvChecker>(
         None,
         0.0,
         &allowed,
+        t0,
+        &mut observer,
     );
 
     while let Some(entry) = st.heap.pop() {
@@ -235,6 +326,8 @@ pub(crate) fn run_search<C: TvChecker>(
                 Some(di),
                 d_di,
                 &allowed,
+                t0,
+                &mut observer,
             );
         }
     }
@@ -257,6 +350,8 @@ fn expand_partition<C: TvChecker>(
     from: Option<u32>,
     base_dist: f64,
     allowed: &dyn Fn(PartitionId) -> bool,
+    t0: Timestamp,
+    observer: &mut SweepObserver,
 ) {
     // Copy the view's door list: ITG/A's check() may swap the view mid-loop.
     st.scratch.clear();
@@ -289,19 +384,50 @@ fn expand_partition<C: TvChecker>(
             Some(di) => space.door_to_door(v, DoorId(di), dj),
             None => space.point_to_door(source, dj),
         };
-        let Some(weight) = weight else { continue };
+        let Some(weight) = weight else {
+            // A missing *source leg* is member-specific state a replay must
+            // check (a member with a leg here would relax a door the lead
+            // never saw); missing door-to-door weights are venue geometry,
+            // identical for every member.
+            if from.is_none() {
+                observer.push(TraceEvent::SourceLegMissing {
+                    door: dj.index() as u32,
+                });
+            }
+            continue;
+        };
         let cand = base_dist + weight;
         stats.relaxations += 1;
 
         // Line 30: TV_Check(dj, dist_j, t).
         stats.tv_checks += 1;
-        if !checker.check(dj, cand, stats) {
+        let open = checker.check(dj, cand, stats);
+        let improved = open && cand < st.dist[dj.index()];
+        if observer.active() {
+            let arrival = t0 + config.velocity.travel_time(cand);
+            if observer.track_margin {
+                let margin = space.checkpoints().margin_to_next(arrival);
+                if margin < observer.min_margin_secs {
+                    observer.min_margin_secs = margin;
+                }
+            }
+            observer.push(TraceEvent::Relax {
+                door: dj.index() as u32,
+                from,
+                via: v,
+                weight,
+                arrival,
+                open,
+                improved,
+            });
+        }
+        if !open {
             stats.tv_rejections += 1;
             continue;
         }
 
         // Lines 31–34.
-        if cand < st.dist[dj.index()] {
+        if improved {
             if st.dist[dj.index()].is_infinite() {
                 st.touched_doors += 1;
             }
@@ -323,7 +449,7 @@ fn expand_partition<C: TvChecker>(
 /// multi-target sweep of [`run_search_targets`], so grouped queries assemble
 /// their paths through exactly the code their per-query twins use.
 #[allow(clippy::too_many_arguments)]
-fn reconstruct(
+pub(crate) fn reconstruct(
     source: &IndoorPoint,
     target: &IndoorPoint,
     config: &ItspqConfig,
@@ -368,7 +494,7 @@ fn reconstruct(
 
 /// The straight-segment answer for a target sharing the source's partition —
 /// the exact short-circuit `run_search` takes before any expansion.
-fn direct_path(
+pub(crate) fn direct_path(
     source: &IndoorPoint,
     target: &IndoorPoint,
     config: &ItspqConfig,
@@ -417,6 +543,7 @@ pub(crate) fn run_search_targets<C: TvChecker>(
     targets: &[IndoorPoint],
     config: &ItspqConfig,
     checker: &mut C,
+    observer: &mut SweepObserver,
 ) -> (Vec<Option<Path>>, SearchStats) {
     debug_assert!(
         config.expand == ExpandPolicy::FullRelax,
@@ -468,11 +595,23 @@ pub(crate) fn run_search_targets<C: TvChecker>(
     st.visited_parts[src_p.index()] = true;
     stats.partitions_expanded += 1;
     expand_partition(
-        space, config, source, checker, &mut st, &mut stats, src_p, None, 0.0, &allowed,
+        space, config, source, checker, &mut st, &mut stats, src_p, None, 0.0, &allowed, t0,
+        observer,
     );
 
     while let Some(entry) = st.heap.pop() {
         stats.heap_pops += 1;
+        let stale = match entry.node {
+            Node::Target(k) => {
+                let k = k as usize;
+                done[k] || entry.dist > target_dist[k]
+            }
+            Node::Door(i) => st.settled[i as usize],
+        };
+        observer.push(TraceEvent::Pop {
+            node: entry.node,
+            stale,
+        });
         let di = match entry.node {
             Node::Target(k) => {
                 let k = k as usize;
@@ -515,7 +654,14 @@ pub(crate) fn run_search_targets<C: TvChecker>(
             }
             if let Some(pd) = space.point_to_door(&targets[k], door) {
                 let cand = d_di + pd;
-                if cand < target_dist[k] {
+                let improved = cand < target_dist[k];
+                observer.push(TraceEvent::RelaxTarget {
+                    k: k as u32,
+                    door: di,
+                    weight: pd,
+                    improved,
+                });
+                if improved {
                     target_dist[k] = cand;
                     target_prev[k] = Some(di);
                     st.heap.push(cand, Node::Target(k as u32));
@@ -544,6 +690,8 @@ pub(crate) fn run_search_targets<C: TvChecker>(
                 Some(di),
                 d_di,
                 &allowed,
+                t0,
+                observer,
             );
         }
     }

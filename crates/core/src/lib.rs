@@ -87,6 +87,7 @@ pub mod ord;
 pub mod profile;
 mod query;
 mod reduced;
+mod replay;
 pub mod server;
 mod stats;
 mod validate;

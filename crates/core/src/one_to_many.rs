@@ -15,7 +15,7 @@ use indoor_space::{DoorId, IndoorPoint, PartitionId};
 use indoor_time::{TimeOfDay, Timestamp};
 
 use crate::engine_syn::SynChecker;
-use crate::framework::{run_search, run_search_targets};
+use crate::framework::{run_search, run_search_targets, SweepObserver};
 use crate::heap::{MinHeap, Node};
 use crate::ord::min_dist;
 use crate::{ExpandPolicy, ItGraph, ItspqConfig, Path, SearchStats};
@@ -121,8 +121,15 @@ pub fn paths_to_many(
         velocity: config.velocity,
         t0,
     };
-    let (mut shared_paths, mut stats) =
-        run_search_targets(graph, &source, time, &sharable, &config, &mut checker);
+    let (mut shared_paths, mut stats) = run_search_targets(
+        graph,
+        &source,
+        time,
+        &sharable,
+        &config,
+        &mut checker,
+        &mut SweepObserver::off(),
+    );
 
     let mut paths = Vec::with_capacity(targets.len());
     let mut shared_iter = 0usize;

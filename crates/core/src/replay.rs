@@ -1,0 +1,212 @@
+//! Differential replay: door-level sharing's per-member verification.
+//!
+//! Door-level grouping batches queries that leave the *same source
+//! partition* at compatible departure times but from **different source
+//! points**. Floating-point addition is not associative, so a member's
+//! answer cannot be recovered from the lead's labels by offset arithmetic —
+//! instead, the lead's sweep records its complete decision log (a
+//! [`TraceEvent`] stream) and this module *re-derives* each member's own
+//! search from it:
+//!
+//! * the only member-specific weights — the source→door legs — are
+//!   recomputed from the member's own point (`point_to_door`), and all
+//!   venue-level weights (door-to-door matrix entries, target legs) are
+//!   reused from the trace, where they are bit-identical by construction;
+//! * the member's labels, predecessors and its own priority queue are
+//!   simulated with the very same [`MinHeap`], so tie-breaking and staleness
+//!   behave exactly as in a real run;
+//! * every decision is *verified*, not assumed: each `TV_Check` outcome must
+//!   transfer through the interval-identity witness
+//!   (`CheckpointSet::same_topology_interval` — arrivals in the same
+//!   constant-topology interval get the same verdict from every checker,
+//!   including the stateful paper-faithful ITG/A cursor, whose update
+//!   sequence is then identical), each improvement comparison must agree
+//!   with the lead's, and each heap pop must surface the same node.
+//!
+//! Any mismatch aborts with a [`ReplayBail`] and the server answers that
+//! member with an ordinary per-query search — divergence can cost time,
+//! never correctness. A replay that runs to completion is a *proof* that the
+//! member's own Algorithm 1 run takes exactly the recorded decision
+//! sequence, so the reconstructed path (or certified "no such routes") is
+//! byte-identical to per-query execution.
+
+use indoor_space::{DoorId, IndoorSpace};
+
+use crate::framework::{reconstruct, PrevEntry, TraceEvent};
+use crate::heap::{MinHeap, Node};
+use crate::{ItspqConfig, Path, Query};
+
+/// Why a member's replay could not be certified (it falls back per-query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReplayBail {
+    /// The member's source→door geodesics differ in *existence* from the
+    /// lead's (one has a leg where the other has none).
+    SourceLeg,
+    /// A checked arrival fell into a different constant-topology interval
+    /// than the lead's, so the `TV_Check` verdict does not transfer.
+    TvInterval,
+    /// An improvement comparison disagreed with the lead's decision.
+    Decision,
+    /// The member's queue surfaced a different node (or staleness) than the
+    /// trace at the same position.
+    PopOrder,
+    /// The member's queue ran dry (or still held entries) where the lead's
+    /// did not — the searches have structurally diverged.
+    HeapShape,
+}
+
+/// Re-derives group member `k`'s own search from the lead's decision trace.
+///
+/// `member` must be the validated query whose target was `targets[k]` of the
+/// traced sweep, with the same source partition as the lead and a departure
+/// in the same checkpoint interval. Returns the member's byte-identical
+/// answer, or a [`ReplayBail`] when the member's search provably (or even
+/// possibly) diverges from the trace.
+pub(crate) fn replay_member(
+    space: &IndoorSpace,
+    config: &ItspqConfig,
+    events: &[TraceEvent],
+    member: &Query,
+    k: u32,
+) -> Result<Option<Path>, ReplayBail> {
+    let t0 = member.departure();
+    let cps = space.checkpoints();
+    let n = space.num_doors();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<PrevEntry>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap = MinHeap::new();
+    let mut target_dist = f64::INFINITY;
+    let mut target_prev: Option<u32> = None;
+
+    for ev in events {
+        match *ev {
+            TraceEvent::SourceLegMissing { door } => {
+                // The lead never relaxed this door from the source; a member
+                // with a geodesic to it would push an entry the trace cannot
+                // account for.
+                if space.point_to_door(&member.source, DoorId(door)).is_some() {
+                    return Err(ReplayBail::SourceLeg);
+                }
+            }
+            TraceEvent::Relax {
+                door,
+                from,
+                via,
+                weight,
+                arrival,
+                open,
+                improved,
+            } => {
+                // The structural guards before a relaxation (skip the entry
+                // door, skip settled doors) depend only on `settled` and the
+                // predecessor topology, which evolve in lockstep with the
+                // lead's — so the member's own search attempts exactly the
+                // relaxations the trace holds.
+                let weight = match from {
+                    Some(_) => weight, // door-to-door: venue geometry, shared
+                    None => space
+                        .point_to_door(&member.source, DoorId(door))
+                        .ok_or(ReplayBail::SourceLeg)?,
+                };
+                let base = match from {
+                    Some(f) => dist[f as usize],
+                    None => 0.0,
+                };
+                let cand = base + weight;
+                let tarr = t0 + config.velocity.travel_time(cand);
+                if !cps.same_topology_interval(arrival, tarr) {
+                    return Err(ReplayBail::TvInterval);
+                }
+                // Same interval ⇒ the member's own TV_Check returns `open`
+                // too, and a stateful checker performs the same update.
+                if !open {
+                    continue;
+                }
+                let mine = cand < dist[door as usize];
+                if mine != improved {
+                    return Err(ReplayBail::Decision);
+                }
+                if improved {
+                    dist[door as usize] = cand;
+                    prev[door as usize] = Some(PrevEntry { via, from });
+                    heap.push(cand, Node::Door(door));
+                }
+            }
+            TraceEvent::RelaxTarget {
+                k: ek,
+                door,
+                weight,
+                improved,
+            } => {
+                if ek != k {
+                    continue; // another member's target: not in this queue
+                }
+                let cand = dist[door as usize] + weight;
+                let mine = cand < target_dist;
+                if mine != improved {
+                    return Err(ReplayBail::Decision);
+                }
+                if improved {
+                    target_dist = cand;
+                    target_prev = Some(door);
+                    heap.push(cand, Node::Target(0));
+                }
+            }
+            TraceEvent::Pop { node, stale } => {
+                if matches!(node, Node::Target(ek) if ek != k) {
+                    continue; // another member's target never entered our queue
+                }
+                let entry = heap.pop().ok_or(ReplayBail::HeapShape)?;
+                match (node, entry.node) {
+                    (Node::Door(i), Node::Door(j)) if i == j => {
+                        // Settles happen at matching pops, so the settled
+                        // sets agree and staleness must too; verify anyway.
+                        if settled[j as usize] != stale {
+                            return Err(ReplayBail::PopOrder);
+                        }
+                        if !stale {
+                            settled[j as usize] = true;
+                        }
+                    }
+                    (Node::Target(_), Node::Target(0)) => {
+                        if entry.dist <= target_dist {
+                            // Live target pop: the member's search finalises
+                            // here (even if the lead's own entry was stale
+                            // and the lead kept going — ending earlier is
+                            // still exactly what the member's run does).
+                            return Ok(reconstruct(
+                                &member.source,
+                                &member.target,
+                                config,
+                                &dist,
+                                &prev,
+                                target_dist,
+                                target_prev,
+                                t0,
+                            ));
+                        }
+                        if !stale {
+                            // The lead finalised this target while the
+                            // member's entry is stale: the trace stops
+                            // relaxing target k from here on, so the
+                            // member's continuation is unrecorded.
+                            return Err(ReplayBail::PopOrder);
+                        }
+                        // Both stale: both searches skip and continue.
+                    }
+                    _ => return Err(ReplayBail::PopOrder),
+                }
+            }
+        }
+    }
+
+    // Trace exhausted without finalising the member's target: the lead's
+    // frontier ran dry. Every push and pop was matched one-to-one, so the
+    // member's queue must be empty too — its own search would equally
+    // exhaust and answer "no such routes".
+    if heap.pop().is_some() {
+        return Err(ReplayBail::HeapShape);
+    }
+    Ok(None)
+}

@@ -46,12 +46,21 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use indoor_space::IndoorPoint;
+use indoor_space::{IndoorPoint, PartitionId};
 
+use crate::framework::{direct_path, SweepObserver};
+use crate::replay::replay_member;
 use crate::{
-    AsynEngine, AsynMode, BatchStats, ExpandPolicy, GroupKey, ItGraph, ItspqConfig, Path, Query,
-    QueryError, QueryResult, SearchStats, SynEngine,
+    AsynEngine, AsynMode, BatchStats, DoorHop, ExpandPolicy, GroupKey, ItGraph, ItspqConfig, Path,
+    Query, QueryError, QueryResult, SearchStats, SynEngine,
 };
+
+/// Rounding slack subtracted from the interval-coalescing margin: a member's
+/// departure shift must clear the lead's smallest checkpoint margin by this
+/// much before its arrivals are certified to stay in the same intervals.
+/// Timeline values are ≤ ~10⁶ s, where an f64 ulp is ~10⁻¹⁰ s — a microsecond
+/// of slack is astronomically conservative and costs no real coalescing.
+const RETIME_SLACK_SECS: f64 = 1e-6;
 
 /// Which engine answers the server's queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +72,15 @@ pub enum ServeMethod {
 }
 
 /// How [`VenueServer::query_batch`] executes a batch.
+///
+/// The three sharing levels are strictly nested: every group the `Shared`
+/// planner forms is also formed (possibly merged further) by `SharedDoor`,
+/// and every `SharedDoor` group by `SharedInterval`. All levels answer
+/// byte-identically to `Independent` — coarser keys admit members whose
+/// answers are *derived* from the group search (replayed or retimed) only
+/// when a per-member certificate proves the derivation exact; uncertifiable
+/// members fall back to their own per-query search (see `ARCHITECTURE.md`
+/// §Shared execution).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BatchStrategy {
     /// One search per query, exactly as submitted.
@@ -70,10 +88,39 @@ pub enum BatchStrategy {
     /// Group queries by [`GroupKey`] (identical source point and departure
     /// time) and answer each ≥ 2-member group with a single shared search
     /// frontier; singleton groups and shared-ineligible queries fall back to
-    /// per-query execution. Answers are byte-identical to `Independent` —
-    /// sharing only happens where the search is provably target-independent
-    /// (see `ARCHITECTURE.md` §Shared execution).
+    /// per-query execution. Sharing only happens where the search is provably
+    /// target-independent.
     Shared,
+    /// Door-level sharing: additionally group queries that depart from
+    /// *different points of the same source partition* at the identical
+    /// time. The group search runs from one member's source and records its
+    /// decision trace; every other member's answer is recomputed by replaying
+    /// that trace against the member's own source legs, bailing to a
+    /// per-query search on the first divergent decision.
+    SharedDoor,
+    /// Interval coalescing: additionally group queries whose departure times
+    /// differ but fall in the same [`indoor_time::CheckpointSet`] interval.
+    /// The earliest departure leads; same-point members are retimed under a
+    /// margin certificate, different-point members are replayed as in
+    /// [`BatchStrategy::SharedDoor`].
+    SharedInterval,
+}
+
+impl BatchStrategy {
+    /// Does this level group across source points within a partition?
+    #[must_use]
+    pub fn shares_door(self) -> bool {
+        matches!(
+            self,
+            BatchStrategy::SharedDoor | BatchStrategy::SharedInterval
+        )
+    }
+
+    /// Does this level group across departure times within an interval?
+    #[must_use]
+    pub fn shares_interval(self) -> bool {
+        self == BatchStrategy::SharedInterval
+    }
 }
 
 /// Tunables of a [`VenueServer`].
@@ -156,6 +203,13 @@ impl VenueServer {
     #[must_use]
     pub fn with_method(mut self, method: ServeMethod) -> Self {
         self.config.method = method;
+        self
+    }
+
+    /// Returns the server with the batch strategy replaced.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: BatchStrategy) -> Self {
+        self.config.strategy = strategy;
         self
     }
 
@@ -270,17 +324,22 @@ impl VenueServer {
     ///
     /// A query joins a shared group only when every sharing precondition
     /// holds (strategy, `FullRelax` expansion, validity, traversable-or-same
-    /// target partition — see [`BatchStrategy::Shared`]); groups that end up
-    /// with a single member are demoted to per-query items, so a plan's
-    /// groups always amortise at least two queries.
+    /// target partition — see [`BatchStrategy`]); the grouping key widens
+    /// with the strategy level (exact source+time, then source partition +
+    /// exact time, then source partition + checkpoint interval). Groups that
+    /// end up with a single member are demoted to per-query items, so a
+    /// plan's groups always amortise at least two queries. Each group's first
+    /// member — its *lead*, whose search the others derive from — is rotated
+    /// to the earliest departure so every member's time shift is ≥ 0.
     #[must_use]
     pub fn plan(&self, queries: &[Query], reject_malformed: bool) -> BatchPlan {
         let space = self.graph.space();
-        let sharing = self.config.strategy == BatchStrategy::Shared
+        let strategy = self.config.strategy;
+        let sharing = strategy != BatchStrategy::Independent
             && self.config.itspq.expand == ExpandPolicy::FullRelax;
 
         let mut items: Vec<WorkItem> = Vec::with_capacity(queries.len());
-        let mut group_of: HashMap<GroupKey, usize> = HashMap::new();
+        let mut group_of: HashMap<PlanKey, usize> = HashMap::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
         for (i, q) in queries.iter().enumerate() {
             match q.validate(space) {
@@ -304,16 +363,37 @@ impl VenueServer {
                 items.push(WorkItem::Single(i));
                 continue;
             }
-            let gi = *group_of.entry(GroupKey::of(q, space)).or_insert_with(|| {
+            let key = match strategy {
+                BatchStrategy::SharedDoor => PlanKey::Door {
+                    partition: q.source.partition,
+                    time: time_bits(q),
+                },
+                BatchStrategy::SharedInterval => PlanKey::Interval {
+                    partition: q.source.partition,
+                    interval: space.checkpoints().interval_index(q.time),
+                },
+                // `Independent` cannot reach here (sharing is false).
+                _ => PlanKey::Exact(GroupKey::of(q, space)),
+            };
+            let gi = *group_of.entry(key).or_insert_with(|| {
                 groups.push(Vec::new());
                 groups.len() - 1
             });
             groups[gi].push(i);
         }
-        for members in groups {
+        for mut members in groups {
             if members.len() == 1 {
                 items.push(WorkItem::Single(members[0]));
             } else {
+                // The earliest departure leads (first occurrence on ties) so
+                // retime deltas are non-negative; under exact keys all times
+                // are equal and the rotation is the identity.
+                let lead = members
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(pos, &i)| (queries[i].time, pos))
+                    .map_or(0, |(pos, _)| pos);
+                members.swap(0, lead);
                 items.push(WorkItem::Group(members));
             }
         }
@@ -324,41 +404,114 @@ impl VenueServer {
     }
 
     /// Runs one planned work item, appending `(input index, answer)` pairs to
-    /// `out` and returning the reduced views it built (counted once per
-    /// physical search, so batch totals do not double-count group members).
+    /// `out` and returning its execution report (views counted once per
+    /// physical search, so batch totals do not double-count group members;
+    /// fallbacks so the batch books can be corrected after the fact).
     fn run_item(
         &self,
         queries: &[Query],
         item: &WorkItem,
         out: &mut Vec<(usize, Result<QueryResult, QueryError>)>,
-    ) -> usize {
+    ) -> ItemReport {
         match item {
             WorkItem::Rejected(i, e) => {
                 out.push((*i, Err(*e)));
-                0
+                ItemReport::default()
             }
             WorkItem::Single(i) => {
                 let r = self.query(&queries[*i]);
-                let views = r.stats.views_built;
+                let report = ItemReport {
+                    views: r.stats.views_built,
+                    ..ItemReport::default()
+                };
                 out.push((*i, Ok(r)));
-                views
+                report
             }
-            WorkItem::Group(members) => {
-                let lead = &queries[members[0]];
-                let targets: Vec<IndoorPoint> =
-                    members.iter().map(|&i| queries[i].target).collect();
-                let (paths, stats) = self.query_targets(&lead.source, lead.time, &targets);
-                let views = stats.views_built;
-                for (&i, path) in members.iter().zip(paths) {
-                    // Every member reports the group's (single) search: the
-                    // work its answer actually cost. Summing member stats
-                    // therefore overcounts a shared batch — sum per *search*
-                    // via `BatchStats` instead.
-                    out.push((i, Ok(QueryResult { path, stats })));
+            WorkItem::Group(members) => self.run_group(queries, members, out),
+        }
+    }
+
+    /// One shared frontier for a whole group, then per-member scatter: exact
+    /// duplicates of the lead take the group answer as-is, shifted members
+    /// are derived (direct recompute / retime / replay) under per-member
+    /// certificates, and anything uncertifiable falls back to its own
+    /// per-query search. See `framework.rs` and `replay.rs` for the
+    /// byte-identity arguments.
+    fn run_group(
+        &self,
+        queries: &[Query],
+        members: &[usize],
+        out: &mut Vec<(usize, Result<QueryResult, QueryError>)>,
+    ) -> ItemReport {
+        let lead = &queries[members[0]];
+        let lead_pos = pos_bits(lead);
+        let lead_time = time_bits(lead);
+        // Record the decision trace only if some member starts elsewhere;
+        // track checkpoint margins only if some same-point member departs
+        // later. Exact-key groups need neither and pay nothing.
+        let needs_trace = members.iter().any(|&i| pos_bits(&queries[i]) != lead_pos);
+        let needs_margin = members
+            .iter()
+            .any(|&i| pos_bits(&queries[i]) == lead_pos && time_bits(&queries[i]) != lead_time);
+        let targets: Vec<IndoorPoint> = members.iter().map(|&i| queries[i].target).collect();
+        let mut observer = SweepObserver::new(needs_trace, needs_margin);
+        let (paths, stats) = self.query_targets(&lead.source, lead.time, &targets, &mut observer);
+        let mut report = ItemReport {
+            views: stats.views_built,
+            ..ItemReport::default()
+        };
+        let config = &self.config.itspq;
+        for (k, (&i, path)) in members.iter().zip(paths).enumerate() {
+            let q = &queries[i];
+            let same_pos = pos_bits(q) == lead_pos;
+            if same_pos && time_bits(q) == lead_time {
+                // Every member reports the group's (single) search: the
+                // work its answer actually cost. Summing member stats
+                // therefore overcounts a shared batch — sum per *search*
+                // via `BatchStats` instead.
+                out.push((i, Ok(QueryResult { path, stats })));
+                continue;
+            }
+            let derived: Option<Option<Path>> = if q.target.partition == q.source.partition {
+                // The member's own search would short-circuit before any
+                // TV check; recompute the straight segment from its own
+                // endpoints and departure — exact by construction.
+                Some(Some(direct_path(
+                    &q.source,
+                    &q.target,
+                    config,
+                    q.departure(),
+                )))
+            } else if same_pos {
+                // Same start, later departure: retime iff the shift clears
+                // the smallest margin every lead arrival had to its next
+                // checkpoint — then every TV verdict provably transfers.
+                let delta = (q.departure() - lead.departure()).seconds();
+                (delta + RETIME_SLACK_SECS < observer.min_margin_secs)
+                    .then(|| retime(path.as_ref(), q, config))
+            } else {
+                // Different start: replay the lead's decision trace against
+                // this member's own source legs and departure.
+                replay_member(self.graph.space(), config, &observer.events, q, k as u32).ok()
+            };
+            match derived {
+                Some(p) => {
+                    if same_pos {
+                        report.retimed += 1;
+                    } else {
+                        report.replayed += 1;
+                    }
+                    out.push((i, Ok(QueryResult { path: p, stats })));
                 }
-                views
+                None => {
+                    let r = self.query(q);
+                    report.fallbacks += 1;
+                    report.views += r.stats.views_built;
+                    out.push((i, Ok(r)));
+                }
             }
         }
+        report
     }
 
     /// One shared frontier for a whole group (see `framework.rs` for the
@@ -369,10 +522,11 @@ impl VenueServer {
         source: &IndoorPoint,
         time: indoor_time::TimeOfDay,
         targets: &[IndoorPoint],
+        observer: &mut SweepObserver,
     ) -> (Vec<Option<Path>>, SearchStats) {
         match self.config.method {
-            ServeMethod::Syn => self.syn.query_targets(source, time, targets),
-            ServeMethod::Asyn => self.asyn.query_targets(source, time, targets),
+            ServeMethod::Syn => self.syn.query_targets(source, time, targets, observer),
+            ServeMethod::Asyn => self.asyn.query_targets(source, time, targets, observer),
         }
     }
 
@@ -387,26 +541,27 @@ impl VenueServer {
         let items = &plan.items;
         let workers = self.config.workers.clamp(1, items.len().max(1));
 
+        let mut report = ItemReport::default();
         let mut indexed: Vec<(usize, Result<QueryResult, QueryError>)>;
         if workers == 1 {
             indexed = Vec::with_capacity(queries.len());
             for item in items {
-                stats.views_built += self.run_item(queries, item, &mut indexed);
+                report.absorb(self.run_item(queries, item, &mut indexed));
             }
         } else {
             let next = AtomicUsize::new(0);
-            let per_worker: Vec<(Vec<_>, usize)> = std::thread::scope(|scope| {
+            let per_worker: Vec<(Vec<_>, ItemReport)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         scope.spawn(|| {
                             let mut local = Vec::new();
-                            let mut views = 0;
+                            let mut report = ItemReport::default();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(item) = items.get(i) else { break };
-                                views += self.run_item(queries, item, &mut local);
+                                report.absorb(self.run_item(queries, item, &mut local));
                             }
-                            (local, views)
+                            (local, report)
                         })
                     })
                     .collect();
@@ -421,11 +576,22 @@ impl VenueServer {
                     .collect()
             });
             indexed = Vec::with_capacity(queries.len());
-            for (local, views) in per_worker {
+            for (local, worker_report) in per_worker {
                 indexed.extend(local);
-                stats.views_built += views;
+                report.absorb(worker_report);
             }
         }
+        // Correct the plan-derived books for execution-time fallbacks: each
+        // one paid its own search (a group) and stopped being a reuse. The
+        // report is a sum over items, so the totals are independent of how
+        // items were spread across workers.
+        stats.views_built += report.views;
+        stats.replayed += report.replayed;
+        stats.retimed += report.retimed;
+        stats.fallbacks += report.fallbacks;
+        stats.groups += report.fallbacks;
+        stats.shared_queries -= report.fallbacks;
+        stats.frontier_reuses -= report.fallbacks;
         indexed.sort_unstable_by_key(|&(i, _)| i);
         (indexed.into_iter().map(|(_, r)| r).collect(), stats)
     }
@@ -439,8 +605,83 @@ enum WorkItem {
     /// `queries[i]` failed validation; answer with the error, run nothing.
     Rejected(usize, QueryError),
     /// Answer all member queries with one shared frontier. Invariants: ≥ 2
-    /// members, identical [`GroupKey`]s, all shared-eligible.
+    /// members, identical [`PlanKey`]s, all shared-eligible, the earliest
+    /// departure first.
     Group(Vec<usize>),
+}
+
+/// The planner's grouping key, one variant per sharing level. Strictly
+/// nested: equal `Exact` keys imply equal `Door` keys imply equal `Interval`
+/// keys, so each level's plan is a coarsening of the previous one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PlanKey {
+    /// [`BatchStrategy::Shared`]: identical source point and departure time.
+    Exact(GroupKey),
+    /// [`BatchStrategy::SharedDoor`]: same source partition, identical time.
+    Door { partition: PartitionId, time: u64 },
+    /// [`BatchStrategy::SharedInterval`]: same source partition, departure
+    /// in the same checkpoint interval.
+    Interval {
+        partition: PartitionId,
+        interval: usize,
+    },
+}
+
+/// What one work item cost and how its members were answered; summed into
+/// the batch's [`BatchStats`] after execution. Pure sums over items, so the
+/// batch totals cannot depend on worker count or scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+struct ItemReport {
+    views: usize,
+    replayed: usize,
+    retimed: usize,
+    fallbacks: usize,
+}
+
+impl ItemReport {
+    fn absorb(&mut self, other: ItemReport) {
+        self.views += other.views;
+        self.replayed += other.replayed;
+        self.retimed += other.retimed;
+        self.fallbacks += other.fallbacks;
+    }
+}
+
+/// The source-point identity used by group scatter: bitwise, so NaN equals
+/// itself and `-0.0 ≠ 0.0` — exactly the aliasing rule of [`GroupKey`].
+fn pos_bits(q: &Query) -> (u64, u64) {
+    (q.source.position.x.to_bits(), q.source.position.y.to_bits())
+}
+
+/// The departure-time identity used by group scatter, bitwise like
+/// [`pos_bits`].
+fn time_bits(q: &Query) -> u64 {
+    q.time.seconds().to_bits()
+}
+
+/// Re-times the lead's answer for a member departing `delta ≥ 0` later whose
+/// arrivals are all certified to stay in the lead's checkpoint intervals:
+/// door labels, hop distances and the total length are departure-independent,
+/// so only the timestamps move — recomputed exactly as `reconstruct` would
+/// have from the member's own `t0`.
+fn retime(path: Option<&Path>, q: &Query, config: &ItspqConfig) -> Option<Path> {
+    let p = path?;
+    let t0 = q.departure();
+    Some(Path {
+        source: q.source,
+        target: q.target,
+        hops: p
+            .hops
+            .iter()
+            .map(|h| DoorHop {
+                arrival: t0 + config.velocity.travel_time(h.distance),
+                ..*h
+            })
+            .collect(),
+        length: p.length,
+        departure: t0,
+        arrival: t0 + config.velocity.travel_time(p.length),
+    })
 }
 
 /// The planner's output: how a batch will be executed.
@@ -499,7 +740,7 @@ impl BatchPlan {
             shared_queries: self.shared_queries(),
             frontier_reuses: self.shared_queries() - self.shared_groups(),
             rejected,
-            views_built: 0,
+            ..BatchStats::default()
         }
     }
 }
@@ -691,6 +932,160 @@ mod tests {
         assert_eq!(stats.shared_queries, 4);
         // Views are counted once per physical search, never per group member.
         assert_eq!(stats.views_built, server.cached_views());
+    }
+
+    /// Compares a batch answered with `strategy` against per-query
+    /// `try_query` answers, byte-for-byte (Debug rendering keeps NaN total).
+    fn assert_parity(server: &VenueServer, batch: &[Query]) {
+        let got = server.try_query_batch(batch);
+        for (i, (q, g)) in batch.iter().zip(&got).enumerate() {
+            let want = server.try_query(q);
+            assert_eq!(
+                format!("{:?}", g.as_ref().map(|r| &r.path)),
+                format!("{:?}", want.as_ref().map(|r| &r.path)),
+                "strategy {:?} diverges from per-query at batch index {i}",
+                server.config().strategy,
+            );
+        }
+    }
+
+    /// Same-partition sources at spread-out points, plus spread-out times
+    /// inside one checkpoint interval.
+    fn door_batch(ex: &paper_example::PaperExample) -> Vec<Query> {
+        let p3 = ex.p3.partition;
+        let at = |x: f64, y: f64| indoor_space::IndoorPoint::new(p3, indoor_geom::Point::new(x, y));
+        vec![
+            Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0)),
+            Query::new(at(1.0, 1.0), ex.p4, TimeOfDay::hm(9, 0)),
+            Query::new(at(2.5, 0.5), ex.p2, TimeOfDay::hm(9, 0)),
+            Query::new(at(0.5, 2.0), ex.p1, TimeOfDay::hm(9, 0)),
+            Query::new(ex.p3, ex.p2, TimeOfDay::hm(9, 0)),
+        ]
+    }
+
+    fn interval_batch(ex: &paper_example::PaperExample) -> Vec<Query> {
+        let p3 = ex.p3.partition;
+        let at = |x: f64, y: f64| indoor_space::IndoorPoint::new(p3, indoor_geom::Point::new(x, y));
+        vec![
+            Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0)),
+            Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 20)),
+            Query::new(ex.p3, ex.p2, TimeOfDay::hm(10, 45)),
+            Query::new(at(1.0, 1.0), ex.p1, TimeOfDay::hm(9, 0)),
+            Query::new(ex.p3, ex.p1, TimeOfDay::hm(14, 0)),
+        ]
+    }
+
+    #[test]
+    fn door_level_plan_groups_same_partition_sources() {
+        let ex = paper_example::build();
+        let exact = sharing_server(&ex);
+        let door = sharing_server(&ex).with_strategy(BatchStrategy::SharedDoor);
+        let batch = door_batch(&ex);
+        // Exact keys only merge the two literal p3 queries …
+        assert_eq!(exact.plan(&batch, false).shared_queries(), 2);
+        // … door keys merge all five (same partition, same instant).
+        let plan = door.plan(&batch, false);
+        assert_eq!(plan.shared_groups(), 1);
+        assert_eq!(plan.shared_queries(), 5);
+        assert_eq!(plan.searches(), 1);
+    }
+
+    #[test]
+    fn interval_plan_groups_same_interval_times() {
+        let ex = paper_example::build();
+        let door = sharing_server(&ex).with_strategy(BatchStrategy::SharedDoor);
+        let interval = sharing_server(&ex).with_strategy(BatchStrategy::SharedInterval);
+        let batch = interval_batch(&ex);
+        // Door keys need identical instants: only the two 9:00 queries merge.
+        assert_eq!(door.plan(&batch, false).shared_queries(), 2);
+        // Interval keys merge every query in the same checkpoint interval.
+        let plan = interval.plan(&batch, false);
+        assert!(plan.shared_queries() >= 4);
+        assert!(plan.searches() < batch.len());
+    }
+
+    #[test]
+    fn interval_group_lead_is_earliest_departure() {
+        let ex = paper_example::build();
+        let server = sharing_server(&ex).with_strategy(BatchStrategy::SharedInterval);
+        // Later departures submitted first: the lead must still be 9:00.
+        let batch = vec![
+            Query::new(ex.p3, ex.p4, TimeOfDay::hm(10, 30)),
+            Query::new(ex.p3, ex.p2, TimeOfDay::hm(9, 0)),
+            Query::new(ex.p3, ex.p1, TimeOfDay::hm(9, 45)),
+        ];
+        let plan = server.plan(&batch, false);
+        let leads: Vec<usize> = plan
+            .items
+            .iter()
+            .filter_map(|it| match it {
+                WorkItem::Group(m) => Some(m[0]),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(leads, vec![1], "the 9:00 query must lead its group");
+    }
+
+    #[test]
+    fn door_level_answers_match_per_query() {
+        let ex = paper_example::build();
+        for method in [ServeMethod::Asyn, ServeMethod::Syn] {
+            let server = sharing_server(&ex)
+                .with_strategy(BatchStrategy::SharedDoor)
+                .with_method(method)
+                .with_workers(1);
+            assert_parity(&server, &door_batch(&ex));
+        }
+    }
+
+    #[test]
+    fn interval_answers_match_per_query() {
+        let ex = paper_example::build();
+        for method in [ServeMethod::Asyn, ServeMethod::Syn] {
+            let server = sharing_server(&ex)
+                .with_strategy(BatchStrategy::SharedInterval)
+                .with_method(method)
+                .with_workers(1);
+            assert_parity(&server, &interval_batch(&ex));
+        }
+    }
+
+    #[test]
+    fn all_levels_keep_consistent_books() {
+        let ex = paper_example::build();
+        let mut batch = skewed_batch(&ex);
+        batch.extend(door_batch(&ex));
+        batch.extend(interval_batch(&ex));
+        for strategy in [
+            BatchStrategy::Independent,
+            BatchStrategy::Shared,
+            BatchStrategy::SharedDoor,
+            BatchStrategy::SharedInterval,
+        ] {
+            let server = sharing_server(&ex).with_strategy(strategy);
+            let (_, stats) = server.query_batch_with_stats(&batch);
+            assert!(
+                stats.is_consistent(),
+                "strategy {strategy:?} broke the accounting identity: {stats}"
+            );
+        }
+    }
+
+    #[test]
+    fn derived_members_report_replays_and_retimes() {
+        let ex = paper_example::build();
+        let server = sharing_server(&ex).with_strategy(BatchStrategy::SharedInterval);
+        let mut batch = door_batch(&ex);
+        batch.extend(interval_batch(&ex));
+        let (_, stats) = server.query_batch_with_stats(&batch);
+        assert!(
+            stats.replayed > 0,
+            "door-spread sources must be answered by replay: {stats}"
+        );
+        assert!(
+            stats.retimed > 0,
+            "same-point later departures must be answered by retime: {stats}"
+        );
     }
 
     #[test]

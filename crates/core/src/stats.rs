@@ -112,6 +112,17 @@ pub struct BatchStats {
     pub rejected: usize,
     /// ITG/A reduced views actually built over the whole batch.
     pub views_built: usize,
+    /// Door-level sharing: members answered by verified replay of the lead's
+    /// decision trace (different source point, same source partition).
+    pub replayed: usize,
+    /// Interval coalescing: members answered by retiming the lead's path
+    /// under the margin certificate (same source point, later departure in
+    /// the same checkpoint interval).
+    pub retimed: usize,
+    /// Group members whose replay/retime could not be certified and were
+    /// answered by their own per-query search instead (also counted in
+    /// `groups`, subtracted from `shared_queries`/`frontier_reuses`).
+    pub fallbacks: usize,
 }
 
 impl BatchStats {
@@ -124,18 +135,33 @@ impl BatchStats {
             self.groups as f64 / self.queries as f64
         }
     }
+
+    /// The execution-level accounting identity every batch satisfies: each
+    /// non-rejected query either paid a physical search or reused a shared
+    /// frontier — `groups + frontier_reuses == queries - rejected`.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.groups + self.frontier_reuses == self.queries - self.rejected
+            && self.frontier_reuses + self.rejected <= self.queries
+            && self.replayed + self.retimed <= self.frontier_reuses
+            && self.shared_queries <= self.queries - self.rejected
+    }
 }
 
 impl std::fmt::Display for BatchStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} queries in {} searches (ratio {:.2}, {} shared, {} reuses, {} rejected)",
+            "{} queries in {} searches (ratio {:.2}, {} shared, {} reuses \
+             [{} replayed, {} retimed], {} fallbacks, {} rejected)",
             self.queries,
             self.groups,
             self.sharing_ratio(),
             self.shared_queries,
             self.frontier_reuses,
+            self.replayed,
+            self.retimed,
+            self.fallbacks,
             self.rejected,
         )
     }
@@ -178,6 +204,24 @@ mod tests {
         assert!(s.to_string().contains("ratio 0.25"));
         // An empty batch shares nothing.
         assert!((BatchStats::default().sharing_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistency_identity_checks_books() {
+        let ok = BatchStats {
+            queries: 10,
+            groups: 5,
+            shared_queries: 7,
+            frontier_reuses: 4,
+            rejected: 1,
+            replayed: 2,
+            retimed: 1,
+            ..BatchStats::default()
+        };
+        assert!(ok.is_consistent());
+        // A lost fallback adjustment breaks the identity.
+        let bad = BatchStats { groups: 6, ..ok };
+        assert!(!bad.is_consistent());
     }
 
     #[test]

@@ -108,6 +108,32 @@ impl CheckpointSet {
     pub fn interval_of(&self, t: TimeOfDay) -> (TimeOfDay, Option<TimeOfDay>) {
         (self.previous(t), self.next(t))
     }
+
+    /// Interval-identity witness: whether two timeline instants fall into the
+    /// *same* constant-topology interval — same day **and** same checkpoint
+    /// interval within that day.
+    ///
+    /// This is the exact condition under which every temporal-variation
+    /// verdict transfers from one instant to the other: door open/closed
+    /// status, the reduced graph of the interval, and the side of every
+    /// checkpoint instant on the whole timeline are all constant across a
+    /// `[previous, next)` interval. Shared batch execution uses it to certify
+    /// that a query replayed at a shifted arrival time makes the identical
+    /// `TV_Check` decisions.
+    #[must_use]
+    pub fn same_topology_interval(&self, a: Timestamp, b: Timestamp) -> bool {
+        a.day_offset() == b.day_offset()
+            && self.interval_index(a.time_of_day()) == self.interval_index(b.time_of_day())
+    }
+
+    /// The margin (in seconds) from `ts` to the next checkpoint instant on
+    /// the timeline: how far an arrival can slip later without leaving its
+    /// constant-topology interval. Always strictly positive (`next_instant`
+    /// is strictly after `ts`).
+    #[must_use]
+    pub fn margin_to_next(&self, ts: Timestamp) -> f64 {
+        (self.next_instant(ts) - ts).seconds()
+    }
 }
 
 impl fmt::Display for CheckpointSet {
@@ -211,6 +237,37 @@ mod tests {
             cps.next_instant(next_day).seconds(),
             crate::SECONDS_PER_DAY + 8.0 * 3600.0
         );
+    }
+
+    #[test]
+    fn same_topology_interval_witnesses_identity() {
+        let cps = sample(); // checkpoints at 0:00, 8:00, 9:00, 16:00
+        let ts = |t: TimeOfDay| Timestamp::from_time_of_day(t);
+        // Same interval, same day.
+        assert!(cps.same_topology_interval(ts(TimeOfDay::hm(10, 0)), ts(TimeOfDay::hm(15, 59))));
+        // Reflexive on boundaries.
+        assert!(cps.same_topology_interval(ts(TimeOfDay::hm(8, 0)), ts(TimeOfDay::hm(8, 0))));
+        // Crossing a checkpoint breaks the witness.
+        assert!(!cps.same_topology_interval(ts(TimeOfDay::hm(8, 59)), ts(TimeOfDay::hm(9, 0))));
+        // Same clock interval on different days is *not* the same instant set.
+        let next_day = Timestamp::from_seconds(crate::SECONDS_PER_DAY + 10.0 * 3600.0).unwrap();
+        assert!(!cps.same_topology_interval(ts(TimeOfDay::hm(10, 0)), next_day));
+        let next_day_too = Timestamp::from_seconds(crate::SECONDS_PER_DAY + 11.0 * 3600.0).unwrap();
+        assert!(cps.same_topology_interval(next_day, next_day_too));
+    }
+
+    #[test]
+    fn margin_to_next_is_positive_and_exact() {
+        let cps = sample();
+        let at = Timestamp::from_time_of_day(TimeOfDay::hm(8, 30));
+        assert!((cps.margin_to_next(at) - 1800.0).abs() < 1e-9);
+        // Exactly on a checkpoint: the margin spans the whole next interval.
+        let on = Timestamp::from_time_of_day(TimeOfDay::hm(9, 0));
+        assert!((cps.margin_to_next(on) - 7.0 * 3600.0).abs() < 1e-9);
+        // Last interval of the day wraps to next-day midnight.
+        let late = Timestamp::from_time_of_day(TimeOfDay::hm(20, 0));
+        assert!((cps.margin_to_next(late) - 4.0 * 3600.0).abs() < 1e-9);
+        assert!(cps.margin_to_next(late) > 0.0);
     }
 
     #[test]

@@ -28,4 +28,6 @@ mod query_gen;
 
 pub use floorplan::{build_mall, mall_builder, CorridorShape, MallConfig};
 pub use hours::{HoursConfig, Sampling, ShopHours};
-pub use query_gen::{generate_queries, GeneratedQuery, QueryGenConfig, SourceDistribution};
+pub use query_gen::{
+    generate_queries, GeneratedQuery, QueryGenConfig, SourceDistribution, TimeDistribution,
+};

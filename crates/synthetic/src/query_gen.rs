@@ -34,6 +34,46 @@ pub enum SourceDistribution {
         /// Number of distinct popular start points (≥ 1).
         pool: usize,
     },
+    /// Like [`SourceDistribution::Zipf`], but each draw yields a *fresh*
+    /// random point inside the ranked anchor's partition instead of the
+    /// anchor point itself: sources cluster by partition — the shape
+    /// `BatchStrategy::SharedDoor` groups on — without being bit-identical.
+    ZipfNear {
+        /// Skew exponent `s ≥ 0` over the anchor ranks.
+        exponent: f64,
+        /// Number of distinct popular partitions (≥ 1, via anchor points).
+        pool: usize,
+    },
+}
+
+/// How query departure times are distributed across the day.
+///
+/// The temporal mirror of [`SourceDistribution`]: production request streams
+/// cluster in time (lunch rush, closing time) exactly as they cluster in
+/// space, and that clustering is what makes `VenueServer`'s door-level and
+/// interval-coalescing batch strategies pay off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeDistribution {
+    /// Every query departs at [`QueryGenConfig::time`] (the paper's §III-1
+    /// setup: `t` fixed per experiment).
+    Fixed,
+    /// Departure times drawn from a fixed pool of popular instants with
+    /// zipf-shaped popularity, each draw jittered forward by up to
+    /// `spread_secs`.
+    ///
+    /// With `spread_secs = 0` repeated draws of a rank are *bit-identical*
+    /// (exact-key groups); with a small spread the draws stay inside one
+    /// checkpoint interval with high probability (interval-level groups).
+    HotSpots {
+        /// Skew exponent `s ≥ 0` over the pool ranks, as in
+        /// [`SourceDistribution::Zipf`].
+        exponent: f64,
+        /// Number of distinct popular instants (≥ 1).
+        pool: usize,
+        /// Maximum forward jitter in seconds added to a drawn instant
+        /// (clamped so times stay within the day).
+        spread_secs: f64,
+    },
 }
 
 /// Parameters of query generation.
@@ -52,6 +92,8 @@ pub struct QueryGenConfig {
     pub seed: u64,
     /// How start points are distributed (default: uniform, as in the paper).
     pub source: SourceDistribution,
+    /// How departure times are distributed (default: fixed at `time`).
+    pub times: TimeDistribution,
 }
 
 impl Default for QueryGenConfig {
@@ -63,6 +105,7 @@ impl Default for QueryGenConfig {
             tolerance: 0.10,
             seed: 0x9E0_5EED,
             source: SourceDistribution::Uniform,
+            times: TimeDistribution::Fixed,
         }
     }
 }
@@ -102,6 +145,13 @@ impl QueryGenConfig {
         self.source = source;
         self
     }
+
+    /// Returns a copy with the given departure-time distribution.
+    #[must_use]
+    pub fn with_times(mut self, times: TimeDistribution) -> Self {
+        self.times = times;
+        self
+    }
 }
 
 /// A generated query plus the realised (temporal-oblivious) distance.
@@ -138,7 +188,8 @@ pub fn generate_queries(graph: &ItGraph, cfg: &QueryGenConfig) -> Vec<GeneratedQ
     // cumulative rank weights Σ 1/(k+1)^s, both deterministic per seed.
     let (pool_points, zipf_cum) = match cfg.source {
         SourceDistribution::Uniform => (Vec::new(), Vec::new()),
-        SourceDistribution::Zipf { exponent, pool } => {
+        SourceDistribution::Zipf { exponent, pool }
+        | SourceDistribution::ZipfNear { exponent, pool } => {
             assert!(pool >= 1, "zipf pool must hold at least one point");
             assert!(
                 exponent >= 0.0 && exponent.is_finite(),
@@ -168,6 +219,37 @@ pub fn generate_queries(graph: &ItGraph, cfg: &QueryGenConfig) -> Vec<GeneratedQ
         }
     };
 
+    // For hot-spot departure times: a fixed pool of popular instants plus
+    // cumulative zipf rank weights, mirroring the source pool above.
+    let (hot_times, time_cum) = match cfg.times {
+        TimeDistribution::Fixed => (Vec::new(), Vec::new()),
+        TimeDistribution::HotSpots {
+            exponent,
+            pool,
+            spread_secs,
+        } => {
+            assert!(pool >= 1, "hot-spot pool must hold at least one instant");
+            assert!(
+                exponent >= 0.0 && exponent.is_finite(),
+                "hot-spot exponent must be finite and non-negative"
+            );
+            assert!(
+                spread_secs >= 0.0 && spread_secs.is_finite(),
+                "hot-spot spread must be finite and non-negative"
+            );
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7157_0CC5);
+            let limit = (86_400.0 - spread_secs).max(0.0);
+            let times: Vec<f64> = (0..pool).map(|_| rng.random_range(0.0..=limit)).collect();
+            let mut cum = Vec::with_capacity(pool);
+            let mut total = 0.0;
+            for k in 0..pool {
+                total += ((k + 1) as f64).powf(-exponent);
+                cum.push(total);
+            }
+            (times, cum)
+        }
+    };
+
     let mut out = Vec::with_capacity(cfg.count);
     let mut attempt = 0u64;
     while out.len() < cfg.count {
@@ -188,13 +270,22 @@ pub fn generate_queries(graph: &ItGraph, cfg: &QueryGenConfig) -> Vec<GeneratedQ
                 };
                 IndoorPoint::new(ps_part, ps_pos)
             }
-            SourceDistribution::Zipf { .. } => {
-                let total = *zipf_cum.last().expect("non-empty pool"); // itspq-lint: allow(no-panic-in-lib, "the Zipf arm above asserts pool >= 1 and pushes exactly one cumulative weight per rank")
+            SourceDistribution::Zipf { .. } | SourceDistribution::ZipfNear { .. } => {
+                let total = *zipf_cum.last().expect("non-empty pool"); // itspq-lint: allow(no-panic-in-lib, "the Zipf/ZipfNear arm above asserts pool >= 1 and pushes exactly one cumulative weight per rank")
                 let u = rng.random_range(0.0..total);
                 let rank = zipf_cum
                     .partition_point(|&c| c <= u)
                     .min(pool_points.len() - 1);
-                pool_points[rank]
+                let anchor = pool_points[rank];
+                if matches!(cfg.source, SourceDistribution::Zipf { .. }) {
+                    anchor
+                } else {
+                    // ZipfNear: a fresh point in the anchor's partition.
+                    match random_point_in(space, anchor.partition, &mut rng) {
+                        Some(pos) => IndoorPoint::new(anchor.partition, pos),
+                        None => anchor,
+                    }
+                }
             }
         };
 
@@ -260,8 +351,29 @@ pub fn generate_queries(graph: &ItGraph, cfg: &QueryGenConfig) -> Vec<GeneratedQ
         if pt.partition == ps.partition {
             continue;
         }
+        // 4. A departure time: the fixed `t`, or a zipf-ranked hot instant
+        //    with forward jitter (bit-identical repeats when the spread is 0).
+        let time = match cfg.times {
+            TimeDistribution::Fixed => cfg.time,
+            TimeDistribution::HotSpots { spread_secs, .. } => {
+                let total = *time_cum.last().expect("non-empty pool"); // itspq-lint: allow(no-panic-in-lib, "the HotSpots arm above asserts pool >= 1 and pushes exactly one cumulative weight per rank")
+                let u = rng.random_range(0.0..total);
+                let rank = time_cum
+                    .partition_point(|&c| c <= u)
+                    .min(hot_times.len() - 1);
+                let base = hot_times[rank];
+                let secs = if spread_secs > 0.0 {
+                    base + rng.random_range(0.0..spread_secs)
+                } else {
+                    base
+                };
+                // In range by construction (base ≤ 86 400 − spread); the
+                // fallback only guards float pathology.
+                TimeOfDay::from_seconds(secs.min(86_400.0)).unwrap_or(cfg.time)
+            }
+        };
         out.push(GeneratedQuery {
-            query: Query::new(ps, pt, cfg.time),
+            query: Query::new(ps, pt, time),
             realised_distance: realised,
         });
     }
@@ -389,6 +501,114 @@ mod tests {
             pool: 4,
         };
         let cfg = QueryGenConfig::default().with_count(6).with_source(zipf);
+        let a = generate_queries(&graph, &cfg);
+        let b = generate_queries(&graph, &cfg);
+        assert_eq!(a, b);
+        let c = generate_queries(&graph, &cfg.with_seed(99));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zipf_near_sources_cluster_by_partition_not_by_point() {
+        let graph = mall_graph();
+        let cfg =
+            QueryGenConfig::default()
+                .with_count(12)
+                .with_source(SourceDistribution::ZipfNear {
+                    exponent: 1.5,
+                    pool: 3,
+                });
+        let queries = generate_queries(&graph, &cfg);
+        let mut parts: Vec<PartitionId> = Vec::new();
+        let mut points: Vec<(u64, u64)> = Vec::new();
+        for gq in &queries {
+            let p = gq.query.source.partition;
+            if !parts.contains(&p) {
+                parts.push(p);
+            }
+            let key = (
+                gq.query.source.position.x.to_bits(),
+                gq.query.source.position.y.to_bits(),
+            );
+            if !points.contains(&key) {
+                points.push(key);
+            }
+        }
+        assert!(
+            parts.len() <= 3,
+            "sources come from at most `pool` partitions"
+        );
+        assert!(
+            points.len() > parts.len(),
+            "near-draws must yield multiple distinct points per partition"
+        );
+        // Determinism, as for the other distributions.
+        assert_eq!(queries, generate_queries(&graph, &cfg));
+    }
+
+    #[test]
+    fn hot_spot_times_repeat_bit_identically_without_spread() {
+        let graph = mall_graph();
+        let cfg = QueryGenConfig::default()
+            .with_count(12)
+            .with_times(TimeDistribution::HotSpots {
+                exponent: 1.5,
+                pool: 3,
+                spread_secs: 0.0,
+            });
+        let queries = generate_queries(&graph, &cfg);
+        let mut counts: Vec<(u64, usize)> = Vec::new();
+        for gq in &queries {
+            let key = gq.query.time.seconds().to_bits();
+            match counts.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((key, 1)),
+            }
+        }
+        assert!(counts.len() <= 3, "at most one time per pool rank");
+        let heaviest = counts.iter().map(|&(_, c)| c).max().unwrap();
+        assert!(
+            heaviest >= queries.len() / 3,
+            "rank-0 instant should dominate, saw max multiplicity {heaviest}"
+        );
+    }
+
+    #[test]
+    fn hot_spot_times_cluster_within_spread() {
+        let graph = mall_graph();
+        let spread = 600.0;
+        let cfg = QueryGenConfig::default()
+            .with_count(10)
+            .with_times(TimeDistribution::HotSpots {
+                exponent: 1.2,
+                pool: 2,
+                spread_secs: spread,
+            });
+        let queries = generate_queries(&graph, &cfg);
+        // Every drawn time lies in one of at most two spread-wide windows.
+        let mut anchors: Vec<f64> = Vec::new();
+        for gq in &queries {
+            let s = gq.query.time.seconds();
+            assert!((0.0..=86_400.0).contains(&s));
+            if !anchors.iter().any(|&a| (s - a).abs() <= spread) {
+                anchors.push(s);
+            }
+        }
+        assert!(
+            anchors.len() <= 2,
+            "times must cluster around the 2 hot instants, saw {anchors:?}"
+        );
+    }
+
+    #[test]
+    fn hot_spot_times_are_deterministic_per_seed() {
+        let graph = mall_graph();
+        let times = TimeDistribution::HotSpots {
+            exponent: 1.0,
+            pool: 4,
+            spread_secs: 120.0,
+        };
+        let cfg = QueryGenConfig::default().with_count(6).with_times(times);
         let a = generate_queries(&graph, &cfg);
         let b = generate_queries(&graph, &cfg);
         assert_eq!(a, b);

@@ -1,21 +1,29 @@
 //! Property-based parity pin for the shared-execution batch engine.
 //!
-//! The tentpole claim of the server's [`BatchStrategy::Shared`] is that
-//! sharing is *invisible* in the answers: grouping queries by identical
-//! (source point, departure time) and answering each group with one
-//! multi-target frontier returns exactly what per-query execution returns —
+//! The tentpole claim of the server's sharing levels ([`BatchStrategy`]
+//! `Shared` / `SharedDoor` / `SharedInterval`) is that sharing is
+//! *invisible* in the answers: grouping queries — by identical (source
+//! point, departure time), by source partition, or by checkpoint interval —
+//! and answering each group from one multi-target frontier (verbatim,
+//! replayed against the member's own source legs, or retimed under the
+//! margin certificate) returns exactly what per-query execution returns —
 //! the same `Path` values bit for bit, the same "no such routes", the same
 //! typed errors for malformed queries — for every engine (ITG/S, ITG/A
 //! Exact *and* the stateful paper-faithful ITG/A), any worker count, and
 //! adversarially skewed batches.
 //!
 //! These properties drive randomized venues (seeded ATIs on the tiny mall),
-//! zipf-like source skew (a tiny source pool with many duplicates), batch
-//! sizes, worker counts, and injected malformed queries, asserting
-//! byte-identity against the per-query reference the whole way.
+//! zipf-like source skew (a tiny source pool with many duplicates),
+//! partition-clustered sources with second-granularity time jitter (the
+//! door/interval traffic shape, including night hours where doors seal and
+//! near-boundary departures that force certified fallbacks), batch sizes,
+//! worker counts, and injected malformed queries (NaN coordinates,
+//! unknown partitions), asserting byte-identity against the per-query
+//! reference the whole way. Failures render compactly: the offending index
+//! and query plus outcome summaries, never whole venues or result dumps.
 
 use itspq_repro::core::server::BatchStrategy;
-use itspq_repro::core::AsynMode;
+use itspq_repro::core::{AsynMode, QueryResult};
 use itspq_repro::prelude::*;
 use itspq_repro::synthetic::{build_mall, HoursConfig, MallConfig, ShopHours};
 use proptest::prelude::*;
@@ -95,6 +103,71 @@ fn inject_malformed(batch: &mut [Query], seed: u64) {
     }
 }
 
+/// `per` random points in each of the first `parts` traversable polygon
+/// partitions: many *distinct* source points concentrated in few partitions —
+/// the batch shape door-level sharing exists for.
+fn partition_clustered_points(
+    graph: &ItGraph,
+    seed: u64,
+    parts: usize,
+    per: usize,
+) -> Vec<IndoorPoint> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD0012);
+    let chosen: Vec<_> = graph
+        .space()
+        .partitions()
+        .iter()
+        .filter(|p| p.polygon.is_some() && p.kind.traversable())
+        .take(parts)
+        .map(|p| (p.id, p.polygon.clone().unwrap()))
+        .collect();
+    let mut pts = Vec::new();
+    for (id, poly) in &chosen {
+        let (min, max) = poly.bounding_box();
+        for _ in 0..per {
+            let mut pos = poly.centroid();
+            for _ in 0..32 {
+                let cand = itspq_repro::geom::Point::new(
+                    rng.random_range(min.x..=max.x),
+                    rng.random_range(min.y..=max.y),
+                );
+                if poly.contains(cand) {
+                    pos = cand;
+                    break;
+                }
+            }
+            pts.push(IndoorPoint::new(*id, pos));
+        }
+    }
+    pts
+}
+
+/// Sources from the partition-clustered pool, departures jittered by seconds
+/// around a few base instants (9:00, 12:00, and 23:30 where night sealing
+/// yields genuine no-routes): exact duplicates, same-instant different-point
+/// pairs, and same-interval different-instant pairs all occur.
+fn clustered_batch(
+    cluster: &[IndoorPoint],
+    targets: &[IndoorPoint],
+    seed: u64,
+    size: usize,
+) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC10C);
+    let bases = [32_400.0, 43_200.0, 84_600.0];
+    let jitter = [0.0, 0.0, 17.5, 45.0, 171.0];
+    (0..size)
+        .map(|_| {
+            let t =
+                bases[rng.random_range(0..bases.len())] + jitter[rng.random_range(0..jitter.len())];
+            Query::new(
+                cluster[rng.random_range(0..cluster.len())],
+                targets[rng.random_range(0..targets.len())],
+                TimeOfDay::from_seconds(t).expect("in range by construction"),
+            )
+        })
+        .collect()
+}
+
 /// Byte-identity witness that is total over NaN: two answers are the same
 /// iff they render identically (a NaN coordinate makes `==` reflexively
 /// false while the values are still bit-for-bit equal).
@@ -102,21 +175,41 @@ fn rendered<T: std::fmt::Debug>(v: &T) -> String {
     format!("{v:?}")
 }
 
-/// A server with sharing actually engaged (FullRelax) for `method`.
+/// Compact one-line outcome summary for failure messages: counts and key
+/// figures instead of a full `Path`/venue dump.
+fn outcome_kind(r: &Result<QueryResult, QueryError>) -> String {
+    match r {
+        Ok(res) => match &res.path {
+            Some(p) => format!("path({} hops, len {:.3})", p.hops.len(), p.length),
+            None => "no-route".into(),
+        },
+        Err(e) => format!("rejected({e:?})"),
+    }
+}
+
+/// A server with sharing actually engaged (FullRelax) at `strategy` level.
 fn sharing_server(
     graph: &ItGraph,
     method: ServeMethod,
     mode: AsynMode,
     workers: usize,
+    strategy: BatchStrategy,
 ) -> VenueServer {
     let config = ServerConfig {
         workers,
         method,
-        strategy: BatchStrategy::Shared,
+        strategy,
         itspq: ItspqConfig::full_relax().with_asyn_mode(mode),
     };
     VenueServer::with_config(graph.clone(), config)
 }
+
+/// Every sharing level, coarsest last.
+const LEVELS: [BatchStrategy; 3] = [
+    BatchStrategy::Shared,
+    BatchStrategy::SharedDoor,
+    BatchStrategy::SharedInterval,
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -133,7 +226,7 @@ proptest! {
         let (graph, pts) = venue_and_points(seed, 8);
         let mut batch = skewed_batch(&pts, seed, size, 2);
         inject_malformed(&mut batch, seed);
-        let server = sharing_server(&graph, ServeMethod::Asyn, AsynMode::Exact, workers);
+        let server = sharing_server(&graph, ServeMethod::Asyn, AsynMode::Exact, workers, BatchStrategy::Shared);
         let shared = server.try_query_batch(&batch);
         prop_assert_eq!(shared.len(), batch.len());
         for (i, (q, got)) in batch.iter().zip(&shared).enumerate() {
@@ -146,7 +239,9 @@ proptest! {
                 (Err(g), Err(w)) => prop_assert_eq!(rendered(g), rendered(&w)),
                 (g, w) => prop_assert!(
                     false,
-                    "outcome mismatch at index {i}: {g:?} vs {w:?} (seed {seed})"
+                    "outcome mismatch at index {i} (seed {seed}): query {q:?} \
+                     got {} want {}",
+                    outcome_kind(g), outcome_kind(&w)
                 ),
             }
         }
@@ -167,7 +262,7 @@ proptest! {
             (ServeMethod::Asyn, AsynMode::Exact),
             (ServeMethod::Asyn, AsynMode::Faithful),
         ] {
-            let server = sharing_server(&graph, method, mode, 2);
+            let server = sharing_server(&graph, method, mode, 2, BatchStrategy::Shared);
             let shared = server.try_query_batch(&batch);
             for (i, (q, got)) in batch.iter().zip(&shared).enumerate() {
                 let want = server.try_query(q).expect("batch is well-formed");
@@ -197,11 +292,11 @@ proptest! {
                 IndoorPoint::new(batch[0].source.partition, itspq_repro::geom::Point::new(f64::NAN, 1.0));
         }
         let reference = {
-            let mut config = *sharing_server(&graph, ServeMethod::Asyn, AsynMode::Exact, 1).config();
+            let mut config = *sharing_server(&graph, ServeMethod::Asyn, AsynMode::Exact, 1, BatchStrategy::Shared).config();
             config.strategy = BatchStrategy::Independent;
             VenueServer::with_config(graph.clone(), config).query_batch(&batch)
         };
-        let shared = sharing_server(&graph, ServeMethod::Asyn, AsynMode::Exact, workers)
+        let shared = sharing_server(&graph, ServeMethod::Asyn, AsynMode::Exact, workers, BatchStrategy::Shared)
             .query_batch(&batch);
         prop_assert_eq!(shared.len(), reference.len());
         for (i, (a, b)) in shared.iter().zip(&reference).enumerate() {
@@ -233,7 +328,7 @@ proptest! {
         // Pool of 1: every query shares one source point, so with more
         // queries than distinct departure times, pigeonhole forces a group.
         let batch = skewed_batch(&pts, seed, size, 1);
-        let server = sharing_server(&graph, ServeMethod::Asyn, AsynMode::Exact, 2);
+        let server = sharing_server(&graph, ServeMethod::Asyn, AsynMode::Exact, 2, BatchStrategy::Shared);
         let plan = server.plan(&batch, false);
         let (results, stats) = server.query_batch_with_stats(&batch);
         prop_assert_eq!(results.len(), batch.len());
@@ -252,5 +347,74 @@ proptest! {
             "a single-source batch of {} must share (seed {seed})", batch.len()
         );
         prop_assert!(stats.sharing_ratio() < 1.0);
+    }
+
+    /// Door-level and interval sharing are byte-identical to per-query
+    /// execution for every sharing level, every engine (ITG/S, ITG/A Exact,
+    /// stateful ITG/A Faithful) and workers ∈ {1, 4}, on partition-clustered
+    /// batches with jittered departures, sealed night doors and malformed
+    /// queries (NaN source, unknown-partition target) mixed in.
+    #[test]
+    fn door_and_interval_sharing_match_per_query(
+        seed in 0u64..150,
+        size in 2usize..18,
+        worker_sel in 0usize..2,
+    ) {
+        let workers = [1, 4][worker_sel];
+        let (graph, pts) = venue_and_points(seed, 6);
+        let cluster = partition_clustered_points(&graph, seed, 2, 3);
+        prop_assert!(!cluster.is_empty());
+        let mut batch = clustered_batch(&cluster, &pts, seed, size);
+        inject_malformed(&mut batch, seed);
+        for strategy in LEVELS {
+            for (method, mode) in [
+                (ServeMethod::Syn, AsynMode::Exact),
+                (ServeMethod::Asyn, AsynMode::Exact),
+                (ServeMethod::Asyn, AsynMode::Faithful),
+            ] {
+                let server = sharing_server(&graph, method, mode, workers, strategy);
+                let shared = server.try_query_batch(&batch);
+                prop_assert_eq!(shared.len(), batch.len());
+                for (i, (q, got)) in batch.iter().zip(&shared).enumerate() {
+                    let want = server.try_query(q);
+                    prop_assert_eq!(
+                        rendered(&got.as_ref().map(|r| &r.path)),
+                        rendered(&want.as_ref().map(|r| &r.path)),
+                        "{:?}/{:?}/{:?} w{} diverges at index {} (seed {}): \
+                         query {:?} got {} want {}",
+                        strategy, method, mode, workers, i, seed, q,
+                        outcome_kind(got), outcome_kind(&want)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every sharing level keeps the batch books balanced, and the whole
+    /// report — replays, retimes, fallbacks, views — is independent of the
+    /// worker count.
+    #[test]
+    fn leveled_stats_are_consistent_and_worker_independent(
+        seed in 0u64..150,
+        size in 4usize..20,
+    ) {
+        let (graph, pts) = venue_and_points(seed, 6);
+        let cluster = partition_clustered_points(&graph, seed, 2, 3);
+        prop_assert!(!cluster.is_empty());
+        let batch = clustered_batch(&cluster, &pts, seed, size);
+        for strategy in LEVELS {
+            let one = sharing_server(&graph, ServeMethod::Asyn, AsynMode::Exact, 1, strategy);
+            let four = sharing_server(&graph, ServeMethod::Asyn, AsynMode::Exact, 4, strategy);
+            let (_, s1) = one.query_batch_with_stats(&batch);
+            let (_, s4) = four.query_batch_with_stats(&batch);
+            prop_assert!(
+                s1.is_consistent(),
+                "{:?} broke the accounting identity (seed {}): {}", strategy, seed, s1
+            );
+            prop_assert_eq!(
+                s1, s4,
+                "stats depend on worker count under {:?} (seed {})", strategy, seed
+            );
+        }
     }
 }
