@@ -4,10 +4,12 @@
 //!    [`itspq_core::VenueServer`] on a mixed-time batch;
 //! 2. **Sharing sweep** — queries/sec vs batch size × traffic shape for
 //!    every sharing level ([`itspq_core::BatchStrategy`] `Shared`,
-//!    `SharedDoor`, `SharedInterval`) against `Independent` on the *same*
-//!    batches: exact-duplicate (source, time) pairs collapse at every level,
-//!    while partition-clustered sources with jittered departures collapse
-//!    only under door-level grouping and interval coalescing.
+//!    `SharedDoor`, `SharedDoor` + warm-start donation (`warm`),
+//!    `SharedInterval`) against `Independent` on the *same* batches:
+//!    exact-duplicate (source, time) pairs collapse at every level, while
+//!    partition-clustered sources with jittered departures collapse only
+//!    under door-level grouping, warm-start donation and interval
+//!    coalescing.
 //!
 //! The default run uses the paper's five-floor mall and writes the committed
 //! `BENCH_throughput.json` baseline plus `results/throughput*.csv`.
@@ -169,6 +171,23 @@ fn main() {
              on the hot zipf batch ({:.2}x)",
             hottest.speedup
         );
+        // Tripwire 3b: the coarse levels must now *pay* on their natural
+        // shapes, not just group — door-level replay on partition-clustered
+        // sources and interval coalescing on jittered departures each have
+        // to at least match independent execution on the hot batch.
+        for (strategy, skew) in [
+            ("shared-door", "door-clustered"),
+            ("shared-interval", "clustered"),
+        ] {
+            let p = hot(strategy, skew);
+            assert!(
+                p.speedup >= 1.0,
+                "coarse-sharing regression: {strategy} ran {:.2}x vs independent \
+                 on its {skew} batch of {}",
+                p.speedup,
+                p.batch_size
+            );
+        }
         // Tripwire 4: absolute wall-clock budget, as in `construction --quick`.
         assert!(
             hottest.batch_secs <= QUICK_BUDGET_SECS,
@@ -196,9 +215,10 @@ fn json_baseline(
     let _ = writeln!(
         out,
         "  \"description\": \"VenueServer queries/sec: worker sweep on a mixed-time batch, \
-         then every sharing level (Shared, SharedDoor, SharedInterval) vs Independent on \
-         identical batches across traffic shapes — uniform, zipf-exact duplicates, \
-         door-clustered sources, clustered sources with jittered departures \
+         then every sharing level (Shared, SharedDoor, warm = SharedDoor + warm-start \
+         frontier donation, SharedInterval) vs Independent on identical batches across \
+         traffic shapes — uniform, zipf-exact duplicates, door-clustered sources, \
+         clustered sources with jittered departures \
          (sharing_ratio = physical searches per query)\","
     );
     let _ = writeln!(out, "  \"host_cores\": {host_cores},");

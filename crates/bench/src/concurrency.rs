@@ -16,7 +16,7 @@ use std::time::Instant;
 use indoor_synthetic::{generate_queries, QueryGenConfig, SourceDistribution, TimeDistribution};
 use indoor_time::TimeOfDay;
 use itspq_core::{
-    BatchStrategy, ItGraph, ItspqConfig, Query, ServeMethod, ServerConfig, VenueServer,
+    AsynMode, BatchStrategy, ItGraph, ItspqConfig, Query, ServeMethod, ServerConfig, VenueServer,
 };
 
 /// One measured (worker count → throughput) point.
@@ -90,7 +90,8 @@ pub fn throughput_sweep(
 /// One measured (batch size × traffic shape × sharing level) point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SharingPoint {
-    /// Sharing level label (see [`strategy_label`]).
+    /// Sharing level label (see [`strategy_label`]; `"warm"` is door-level
+    /// sharing with warm-start frontier donation enabled).
     pub strategy: &'static str,
     /// Queries per batch.
     pub batch_size: usize,
@@ -218,10 +219,12 @@ pub fn skewed_batch(
 /// Sweeps batch size × traffic shape × sharing level, timing every
 /// [`BatchStrategy`] against `Independent` on identical batches.
 ///
-/// All servers run ITG/A with [`ItspqConfig::full_relax`] (the policy under
-/// which sharing is answer-preserving) and `workers` threads; answers are
-/// asserted equal on the warm-up pass of every point, so the timed deltas
-/// are pure execution-plan effects.
+/// All servers run ITG/A with [`ItspqConfig::full_relax`] in
+/// [`AsynMode::Exact`] (full relaxation is the policy under which sharing is
+/// answer-preserving, and Exact's order-pure TV verdicts are what door-level
+/// replay certifies against — the Faithful cursor gates replay off) with
+/// `workers` threads; answers are asserted equal on the warm-up pass of
+/// every point, so the timed deltas are pure execution-plan effects.
 #[must_use]
 pub fn sharing_sweep(
     graph: &Arc<ItGraph>,
@@ -232,26 +235,47 @@ pub fn sharing_sweep(
     delta: f64,
 ) -> Vec<SharingPoint> {
     let repeats = repeats.max(1);
-    let config = |strategy| ServerConfig {
+    let config = |strategy, warm_start| ServerConfig {
         workers,
         method: ServeMethod::Asyn,
         strategy,
-        itspq: ItspqConfig::full_relax(),
+        warm_start,
+        // Exact mode: order-pure verdicts (answer-identical to ITG/S),
+        // required for door-level replay to engage — see the server's
+        // `verdict_pure` gate.
+        itspq: ItspqConfig::full_relax().with_asyn_mode(AsynMode::Exact),
+        ..ServerConfig::default()
     };
-    let levels = [
-        BatchStrategy::Shared,
-        BatchStrategy::SharedDoor,
-        BatchStrategy::SharedInterval,
+    // The `"warm"` row is door-level sharing plus warm-start frontier
+    // donation across same-interval groups — the opt-in between
+    // `SharedDoor` and `SharedInterval`.
+    let levels: [(&'static str, BatchStrategy, bool); 4] = [
+        (
+            strategy_label(BatchStrategy::Shared),
+            BatchStrategy::Shared,
+            false,
+        ),
+        (
+            strategy_label(BatchStrategy::SharedDoor),
+            BatchStrategy::SharedDoor,
+            false,
+        ),
+        ("warm", BatchStrategy::SharedDoor, true),
+        (
+            strategy_label(BatchStrategy::SharedInterval),
+            BatchStrategy::SharedInterval,
+            false,
+        ),
     ];
     let independent =
-        VenueServer::with_config(Arc::clone(graph), config(BatchStrategy::Independent));
+        VenueServer::with_config(Arc::clone(graph), config(BatchStrategy::Independent, false));
     independent.warm();
-    let servers: Vec<(BatchStrategy, VenueServer)> = levels
+    let servers: Vec<(&'static str, VenueServer)> = levels
         .iter()
-        .map(|&s| {
-            let server = VenueServer::with_config(Arc::clone(graph), config(s));
+        .map(|&(label, s, warm)| {
+            let server = VenueServer::with_config(Arc::clone(graph), config(s, warm));
             server.warm();
-            (s, server)
+            (label, server)
         })
         .collect();
 
@@ -284,7 +308,7 @@ pub fn sharing_sweep(
                 qps: ind_qps,
                 speedup: 1.0,
             });
-            for (strategy, server) in &servers {
+            for &(label, ref server) in &servers {
                 let ratio = {
                     let plan = server.plan(&batch, false);
                     plan.searches() as f64 / batch.len().max(1) as f64
@@ -295,13 +319,12 @@ pub fn sharing_sweep(
                     assert_eq!(
                         x.path.as_ref().map(|p| p.length),
                         y.path.as_ref().map(|p| p.length),
-                        "{} diverged from independent execution",
-                        strategy_label(*strategy),
+                        "{label} diverged from independent execution",
                     );
                 }
                 let (secs, qps) = time_batch(server, &batch);
                 points.push(SharingPoint {
-                    strategy: strategy_label(*strategy),
+                    strategy: label,
                     batch_size: batch.len(),
                     skew: shape.label.to_string(),
                     sharing_ratio: ratio,
@@ -436,7 +459,11 @@ mod tests {
             1,
             600.0,
         );
-        assert_eq!(points.len(), 4, "independent plus three sharing levels");
+        assert_eq!(
+            points.len(),
+            5,
+            "independent plus three sharing levels plus the warm row"
+        );
         let shared = points.iter().find(|p| p.strategy == "shared").unwrap();
         assert!(
             shared.sharing_ratio < 1.0,
@@ -464,9 +491,11 @@ mod tests {
                 .map(|p| p.sharing_ratio)
                 .unwrap()
         };
-        // Coarser keys can only merge more: ratios are monotone by level.
+        // Coarser keys can only merge more: ratios are monotone by level,
+        // with warm-start donation sitting between door and interval.
         assert!(ratio("shared-door") <= ratio("shared"));
-        assert!(ratio("shared-interval") <= ratio("shared-door"));
+        assert!(ratio("warm") <= ratio("shared-door"));
+        assert!(ratio("shared-interval") <= ratio("warm"));
         // Distinct points in hot partitions with jittered times: door-level
         // needs identical instants (rare under a 120 s spread), interval
         // coalescing must realise sharing.

@@ -43,30 +43,39 @@ pub(crate) struct PrevEntry {
     pub(crate) from: Option<u32>,
 }
 
-/// One recorded decision of a multi-target sweep, in execution order.
+/// One recorded *door-level* decision of a multi-target sweep, in execution
+/// order.
 ///
-/// The trace is the *lead* query's complete decision log: every heap pop
-/// (stale ones included), every door relaxation with its weight and
-/// `TV_Check` outcome, every target relaxation. `crate::replay` re-derives a
-/// group member's own search from it, substituting only the member-specific
-/// inputs (source legs, departure time) and verifying each decision — any
-/// divergence aborts the replay and the member falls back to per-query
-/// execution.
+/// The trace is the *lead* query's complete relaxation log. `crate::replay`
+/// computes a group member's own label fixpoint from it — substituting only
+/// the member-specific inputs (source legs, departure time) — and then
+/// certifies that the member's own search would have attempted exactly the
+/// recorded relaxation set; any uncertifiable divergence aborts the replay
+/// and the member falls back to per-query execution. Door events are shared
+/// by every member of the group; the per-target events live in positioned
+/// side streams (see [`TargetEvent`]) so a member's replay never scans
+/// another member's relaxations.
 #[derive(Debug, Clone, Copy)]
-pub(crate) enum TraceEvent {
-    /// An entry left the priority queue. `stale` mirrors the sweep's skip
-    /// logic (door already settled / target already finalised or improved).
-    Pop { node: Node, stale: bool },
-    /// A door relaxation attempt (Algorithm 1 lines 29–34) that had a weight.
-    /// `from == None` is a source-leg relaxation (`|ps, dj|`), the only
-    /// member-specific weight; `arrival` is the lead's projected arrival fed
-    /// to `TV_Check`, `open` its verdict, `improved` line 31's comparison.
+pub(crate) enum DoorEvent {
+    /// A door settled: its non-stale entry left the priority queue (stale
+    /// pops decide nothing and are not recorded). The event order is the
+    /// lead's settle order, which drives the replay's omission certificate.
+    Pop { door: u32 },
+    /// A door relaxation attempt (Algorithm 1 lines 29–34) that had a
+    /// weight. `from == None` is a source-leg relaxation (`|ps, dj|`), the
+    /// only member-specific weight; `[lo, hi)` is the constant-topology
+    /// timeline window of the lead's projected arrival
+    /// ([`indoor_time::CheckpointSet::timeline_interval`]), `open` the
+    /// `TV_Check` verdict, `improved` line 31's comparison. A member whose
+    /// own arrival lands inside `[lo, hi)` provably receives the same
+    /// verdict without re-running the check.
     Relax {
         door: u32,
         from: Option<u32>,
         via: PartitionId,
         weight: f64,
-        arrival: Timestamp,
+        lo: f64,
+        hi: f64,
         open: bool,
         improved: bool,
     },
@@ -74,32 +83,65 @@ pub(crate) enum TraceEvent {
     /// A member that *does* have one would diverge structurally — replay must
     /// verify the absence.
     SourceLegMissing { door: u32 },
-    /// A settled door relaxed pending target `k` (lines 20–24).
-    RelaxTarget {
-        k: u32,
-        door: u32,
-        weight: f64,
-        improved: bool,
-    },
 }
 
-/// Decision recorder for [`run_search_targets`]: an optional full event
+/// One recorded target-leg relaxation (lines 20–24), in target `k`'s own
+/// stream: the sweep computed `point_to_door(targets[k], door)` when `door`
+/// settled. The geodesic weight is a pure function of the venue geometry and
+/// the target point, so member `k`'s replay reuses it bit-for-bit instead of
+/// recomputing the leg; a member's replay never touches another target's
+/// stream. Doors settled *after* the sweep finalised target `k` carry no
+/// event (the sweep skips finalised targets) — replay recomputes those few
+/// legs on demand.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TargetEvent {
+    pub(crate) door: u32,
+    pub(crate) weight: f64,
+}
+
+/// The lead's recorded decision log: one shared door stream plus one
+/// positioned side stream per group member. All buffers are reused across
+/// groups via [`Trace::reset`] — recording steady-states to zero
+/// allocations per group.
+#[derive(Debug, Default)]
+pub(crate) struct Trace {
+    pub(crate) doors: Vec<DoorEvent>,
+    pub(crate) targets: Vec<Vec<TargetEvent>>,
+}
+
+impl Trace {
+    /// Clears every stream (keeping capacity) and guarantees at least
+    /// `members` target streams exist.
+    pub(crate) fn reset(&mut self, members: usize) {
+        self.doors.clear();
+        for t in &mut self.targets {
+            t.clear();
+        }
+        if self.targets.len() < members {
+            self.targets.resize_with(members, Vec::new);
+        }
+    }
+}
+
+/// Decision recorder for [`run_search_targets`]: an optional full decision
 /// trace (door-level replay) and/or a running minimum of the margin between
 /// each checked arrival and its next checkpoint (interval-coalescing
 /// certificate). Both default to off, making the observer free on the
 /// per-query path.
 #[derive(Debug)]
 pub(crate) struct SweepObserver {
-    /// Record the full [`TraceEvent`] stream.
+    /// Record the full decision trace.
     record: bool,
     /// Track `min_margin_secs` across every `TV_Check` arrival.
     track_margin: bool,
-    /// The recorded events (empty unless `record`).
-    pub(crate) events: Vec<TraceEvent>,
+    /// The recorded decision log (empty unless `record`).
+    pub(crate) trace: Trace,
     /// Smallest margin (seconds) from any checked arrival to its next
     /// checkpoint; `f64::INFINITY` when no check happened. A member whose
     /// departure lags the lead's by strictly less than this margin (minus a
     /// rounding slack) certifiably makes the identical `TV_Check` decisions.
+    /// Poisoned to `0.0` (never certify) if any arrival degenerates to a
+    /// non-finite margin.
     pub(crate) min_margin_secs: f64,
 }
 
@@ -110,12 +152,31 @@ impl SweepObserver {
     }
 
     pub(crate) fn new(record: bool, track_margin: bool) -> Self {
+        Self::with_trace(record, track_margin, Trace::default(), 0)
+    }
+
+    /// An observer writing into a caller-owned (typically pooled) trace
+    /// buffer, reset for `members` target streams. Reclaim the buffer with
+    /// [`SweepObserver::take_trace`] after the sweep.
+    pub(crate) fn with_trace(
+        record: bool,
+        track_margin: bool,
+        mut trace: Trace,
+        members: usize,
+    ) -> Self {
+        trace.reset(if record { members } else { 0 });
         SweepObserver {
             record,
             track_margin,
-            events: Vec::new(),
+            trace,
             min_margin_secs: f64::INFINITY,
         }
+    }
+
+    /// Moves the recorded trace out (leaving an empty one) so a pooled
+    /// buffer can return to its scratch slot after the group is scattered.
+    pub(crate) fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
     }
 
     #[inline]
@@ -124,9 +185,16 @@ impl SweepObserver {
     }
 
     #[inline]
-    fn push(&mut self, ev: TraceEvent) {
+    fn push_door(&mut self, ev: DoorEvent) {
         if self.record {
-            self.events.push(ev);
+            self.trace.doors.push(ev);
+        }
+    }
+
+    #[inline]
+    fn push_target(&mut self, k: u32, door: u32, weight: f64) {
+        if self.record {
+            self.trace.targets[k as usize].push(TargetEvent { door, weight });
         }
     }
 }
@@ -390,7 +458,7 @@ fn expand_partition<C: TvChecker>(
             // never saw); missing door-to-door weights are venue geometry,
             // identical for every member.
             if from.is_none() {
-                observer.push(TraceEvent::SourceLegMissing {
+                observer.push_door(DoorEvent::SourceLegMissing {
                     door: dj.index() as u32,
                 });
             }
@@ -405,18 +473,29 @@ fn expand_partition<C: TvChecker>(
         let improved = open && cand < st.dist[dj.index()];
         if observer.active() {
             let arrival = t0 + config.velocity.travel_time(cand);
+            // One interval lookup serves both consumers: `hi - arrival` IS
+            // the retiming margin (bit-equal to `margin_to_next`, pinned in
+            // indoor-time's tests), and `[lo, hi)` is the window replay
+            // admits member arrivals against.
+            let (lo, hi) = space.checkpoints().timeline_interval(arrival);
             if observer.track_margin {
-                let margin = space.checkpoints().margin_to_next(arrival);
-                if margin < observer.min_margin_secs {
-                    observer.min_margin_secs = margin;
+                let margin = hi - arrival.seconds();
+                if margin.is_finite() {
+                    if margin < observer.min_margin_secs {
+                        observer.min_margin_secs = margin;
+                    }
+                } else {
+                    // Degenerate arrival (∞/NaN weight): no retime is safe.
+                    observer.min_margin_secs = 0.0;
                 }
             }
-            observer.push(TraceEvent::Relax {
+            observer.push_door(DoorEvent::Relax {
                 door: dj.index() as u32,
                 from,
                 via: v,
                 weight,
-                arrival,
+                lo,
+                hi,
                 open,
                 improved,
             });
@@ -601,17 +680,11 @@ pub(crate) fn run_search_targets<C: TvChecker>(
 
     while let Some(entry) = st.heap.pop() {
         stats.heap_pops += 1;
-        let stale = match entry.node {
-            Node::Target(k) => {
-                let k = k as usize;
-                done[k] || entry.dist > target_dist[k]
+        if let Node::Door(i) = entry.node {
+            if !st.settled[i as usize] {
+                observer.push_door(DoorEvent::Pop { door: i });
             }
-            Node::Door(i) => st.settled[i as usize],
-        };
-        observer.push(TraceEvent::Pop {
-            node: entry.node,
-            stale,
-        });
+        }
         let di = match entry.node {
             Node::Target(k) => {
                 let k = k as usize;
@@ -655,12 +728,7 @@ pub(crate) fn run_search_targets<C: TvChecker>(
             if let Some(pd) = space.point_to_door(&targets[k], door) {
                 let cand = d_di + pd;
                 let improved = cand < target_dist[k];
-                observer.push(TraceEvent::RelaxTarget {
-                    k: k as u32,
-                    door: di,
-                    weight: pd,
-                    improved,
-                });
+                observer.push_target(k as u32, di, pd);
                 if improved {
                     target_dist[k] = cand;
                     target_prev[k] = Some(di);

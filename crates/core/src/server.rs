@@ -43,13 +43,15 @@
 //! ```
 
 use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use indoor_space::{IndoorPoint, PartitionId};
+use parking_lot::Mutex;
 
-use crate::framework::{direct_path, SweepObserver};
-use crate::replay::replay_member;
+use crate::framework::{direct_path, SweepObserver, Trace};
+use crate::replay::{replay_member, LeadIndex, ReplayScratch};
 use crate::{
     AsynEngine, AsynMode, BatchStats, DoorHop, ExpandPolicy, GroupKey, ItGraph, ItspqConfig, Path,
     Query, QueryError, QueryResult, SearchStats, SynEngine,
@@ -127,13 +129,46 @@ impl BatchStrategy {
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
     /// Worker threads used by [`VenueServer::query_batch`] (at least 1).
+    /// Clamped to the host's available parallelism at execution time unless
+    /// [`ServerConfig::pin_workers`] is set — see
+    /// [`ServerConfig::effective_workers`].
     pub workers: usize,
+    /// Use exactly [`ServerConfig::workers`] threads even past the host's
+    /// available parallelism. Off by default: oversubscribing cores buys
+    /// only scheduler churn (answers never depend on the worker count).
+    /// Benches that sweep worker counts set this to measure the
+    /// oversubscribed configurations they report.
+    pub pin_workers: bool,
     /// Which engine answers queries.
     pub method: ServeMethod,
     /// How batches are executed.
     pub strategy: BatchStrategy,
+    /// Warm-start donation across plan groups: merge same-partition groups
+    /// whose departures share a checkpoint interval, run the largest
+    /// constituent group first, and answer the remaining members from its
+    /// recorded frontier (replay / retime under the usual per-member
+    /// certificates — byte-identical or per-query fallback). Only meaningful
+    /// at [`BatchStrategy::SharedDoor`] (at `SharedInterval` the planner key
+    /// already merges these groups); off by default so each level's plan
+    /// stays a strict coarsening of the previous one.
+    pub warm_start: bool,
     /// Engine configuration shared by both methods.
     pub itspq: ItspqConfig,
+}
+
+impl ServerConfig {
+    /// Worker threads a batch will actually spawn: `workers` (at least 1)
+    /// clamped to the host's available parallelism, unless
+    /// [`ServerConfig::pin_workers`] demands the literal count.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        let w = self.workers.max(1);
+        if self.pin_workers {
+            w
+        } else {
+            w.min(host_parallelism())
+        }
+    }
 }
 
 impl Default for ServerConfig {
@@ -145,8 +180,10 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             workers: default_workers(),
+            pin_workers: false,
             method: ServeMethod::Asyn,
             strategy: BatchStrategy::Shared,
+            warm_start: false,
             itspq: ItspqConfig::default().with_asyn_mode(AsynMode::Exact),
         }
     }
@@ -157,6 +194,12 @@ impl Default for ServerConfig {
 #[must_use]
 pub fn default_workers() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+/// The host's available parallelism (1 when it cannot be determined).
+#[must_use]
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// A shared-venue query server: owns one `Arc<ItGraph>`, shares the ITG/A
@@ -171,6 +214,7 @@ pub struct VenueServer {
     syn: SynEngine,
     asyn: AsynEngine,
     config: ServerConfig,
+    scratch: ScratchPool,
 }
 
 impl VenueServer {
@@ -189,6 +233,7 @@ impl VenueServer {
             asyn: AsynEngine::new(Arc::clone(&graph), config.itspq),
             graph,
             config,
+            scratch: ScratchPool::default(),
         }
     }
 
@@ -196,6 +241,24 @@ impl VenueServer {
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.config.workers = workers.max(1);
+        self
+    }
+
+    /// Returns the server with the worker count replaced *and pinned*:
+    /// batches use exactly this many threads even beyond the host's
+    /// available parallelism (see [`ServerConfig::pin_workers`]).
+    #[must_use]
+    pub fn with_pinned_workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers.max(1);
+        self.config.pin_workers = true;
+        self
+    }
+
+    /// Returns the server with warm-start frontier donation toggled (see
+    /// [`ServerConfig::warm_start`]).
+    #[must_use]
+    pub fn with_warm_start(mut self, warm: bool) -> Self {
+        self.config.warm_start = warm;
         self
     }
 
@@ -339,8 +402,15 @@ impl VenueServer {
             && self.config.itspq.expand == ExpandPolicy::FullRelax;
 
         let mut items: Vec<WorkItem> = Vec::with_capacity(queries.len());
-        let mut group_of: HashMap<PlanKey, usize> = HashMap::new();
-        let mut groups: Vec<Vec<usize>> = Vec::new();
+        // The grouping map and the per-group rosters are pooled on the
+        // server: planning a steady stream of batches reuses one allocation
+        // set instead of rebuilding a HashMap and one Vec per group each
+        // call. Rosters are compacted into the plan-owned `members` arena
+        // (one allocation) on the way out.
+        let mut scratch = self.scratch.plan.lock(); // itspq-lint: allow(lock-scope, "plan scratch guard spans the grouping loop by design; the or_insert_with closure only grows a pooled roster Vec — no cache build, no re-entrant locking")
+        let PlanScratch { group_of, groups } = &mut *scratch;
+        group_of.clear();
+        let mut active = 0usize;
         for (i, q) in queries.iter().enumerate() {
             match q.validate(space) {
                 Err(e) if reject_malformed => {
@@ -376,30 +446,75 @@ impl VenueServer {
                 _ => PlanKey::Exact(GroupKey::of(q, space)),
             };
             let gi = *group_of.entry(key).or_insert_with(|| {
-                groups.push(Vec::new());
-                groups.len() - 1
+                if active == groups.len() {
+                    groups.push(Vec::new());
+                }
+                groups[active].clear();
+                active += 1;
+                active - 1
             });
             groups[gi].push(i);
         }
-        for mut members in groups {
-            if members.len() == 1 {
-                items.push(WorkItem::Single(members[0]));
-            } else {
-                // The earliest departure leads (first occurrence on ties) so
-                // retime deltas are non-negative; under exact keys all times
-                // are equal and the rotation is the identity.
-                let lead = members
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|&(pos, &i)| (queries[i].time, pos))
-                    .map_or(0, |(pos, _)| pos);
-                members.swap(0, lead);
-                items.push(WorkItem::Group(members));
+
+        let mut members: Vec<usize> = Vec::new();
+        let warm = sharing && self.config.warm_start && strategy.shares_door();
+        if warm {
+            // Warm-start donation: key-distinct groups leaving the same
+            // partition inside one checkpoint interval merge into a single
+            // item. The largest constituent group is the *donor* — it runs
+            // (as `members[..donor_len]`, its earliest departure leading)
+            // and the appended neighbors are answered from its recorded
+            // frontier under the usual certificates. At `SharedInterval`
+            // the plan key equals the neighborhood key, so every
+            // neighborhood is a single group and this is the identity.
+            let mut hood_of: HashMap<(PartitionId, usize), usize> = HashMap::new();
+            let mut hoods: Vec<Vec<usize>> = Vec::new();
+            for g in 0..active {
+                let q = &queries[groups[g][0]];
+                let key = (
+                    q.source.partition,
+                    space.checkpoints().interval_index(q.time),
+                );
+                let h = *hood_of.entry(key).or_insert_with(|| {
+                    hoods.push(Vec::new());
+                    hoods.len() - 1
+                });
+                hoods[h].push(g);
+            }
+            for hood in hoods {
+                if let [only] = hood[..] {
+                    flush_group(queries, &mut groups[only], &mut items, &mut members);
+                    continue;
+                }
+                let mut donor = hood[0];
+                for &g in &hood[1..] {
+                    if groups[g].len() > groups[donor].len() {
+                        donor = g; // first-created wins ties
+                    }
+                }
+                rotate_earliest_lead(queries, &mut groups[donor]);
+                let start = members.len();
+                members.extend_from_slice(&groups[donor]);
+                let donor_len = groups[donor].len();
+                for &g in &hood {
+                    if g != donor {
+                        members.extend_from_slice(&groups[g]);
+                    }
+                }
+                items.push(WorkItem::Group {
+                    members: start..members.len(),
+                    donor_len,
+                });
+            }
+        } else {
+            for roster in groups.iter_mut().take(active) {
+                flush_group(queries, roster, &mut items, &mut members);
             }
         }
         BatchPlan {
             queries: queries.len(),
             items,
+            members,
         }
     }
 
@@ -410,7 +525,9 @@ impl VenueServer {
     fn run_item(
         &self,
         queries: &[Query],
+        plan: &BatchPlan,
         item: &WorkItem,
+        ws: &mut WorkerScratch,
         out: &mut Vec<(usize, Result<QueryResult, QueryError>)>,
     ) -> ItemReport {
         match item {
@@ -419,15 +536,18 @@ impl VenueServer {
                 ItemReport::default()
             }
             WorkItem::Single(i) => {
-                let r = self.query(&queries[*i]);
+                let (r, search_nanos) = timed(|| self.query(&queries[*i]));
                 let report = ItemReport {
                     views: r.stats.views_built,
+                    search_nanos,
                     ..ItemReport::default()
                 };
                 out.push((*i, Ok(r)));
                 report
             }
-            WorkItem::Group(members) => self.run_group(queries, members, out),
+            WorkItem::Group { members, donor_len } => {
+                self.run_group(queries, &plan.members[members.clone()], *donor_len, ws, out)
+            }
         }
     }
 
@@ -441,76 +561,143 @@ impl VenueServer {
         &self,
         queries: &[Query],
         members: &[usize],
+        donor_len: usize,
+        ws: &mut WorkerScratch,
         out: &mut Vec<(usize, Result<QueryResult, QueryError>)>,
     ) -> ItemReport {
         let lead = &queries[members[0]];
         let lead_pos = pos_bits(lead);
         let lead_time = time_bits(lead);
         // Record the decision trace only if some member starts elsewhere;
-        // track checkpoint margins only if some same-point member departs
-        // later. Exact-key groups need neither and pay nothing.
-        let needs_trace = members.iter().any(|&i| pos_bits(&queries[i]) != lead_pos);
+        // track checkpoint margins only if some same-point member departs at
+        // another time. Exact-key singleton-neighborhood groups need neither
+        // and pay no observer work at all. Replay additionally requires
+        // order-pure TV verdicts — true for ITG/S and ITG/A(Exact), false
+        // for the paper-faithful cursor, whose verdict depends on the
+        // sequence of preceding checks — so Faithful groups skip recording
+        // and serve non-identical members per-query. (Retiming stays on:
+        // same-point members relax the identical sequence in the identical
+        // windows, which preserves even the Faithful cursor states.)
+        let verdict_pure = self.config.method == ServeMethod::Syn
+            || self.config.itspq.asyn_mode == AsynMode::Exact;
+        let needs_trace =
+            verdict_pure && members.iter().any(|&i| pos_bits(&queries[i]) != lead_pos);
         let needs_margin = members
             .iter()
             .any(|&i| pos_bits(&queries[i]) == lead_pos && time_bits(&queries[i]) != lead_time);
-        let targets: Vec<IndoorPoint> = members.iter().map(|&i| queries[i].target).collect();
-        let mut observer = SweepObserver::new(needs_trace, needs_margin);
-        let (paths, stats) = self.query_targets(&lead.source, lead.time, &targets, &mut observer);
+        ws.targets.clear();
+        ws.targets
+            .extend(members.iter().map(|&i| queries[i].target));
+        // The trace buffer is pooled per worker: recording reuses the same
+        // door/target streams across every group this worker runs.
+        let mut observer = SweepObserver::with_trace(
+            needs_trace,
+            needs_margin,
+            std::mem::take(&mut ws.trace),
+            members.len(),
+        );
+        let ((paths, stats), search_nanos) =
+            timed(|| self.query_targets(&lead.source, lead.time, &ws.targets, &mut observer));
         let mut report = ItemReport {
             views: stats.views_built,
+            search_nanos,
             ..ItemReport::default()
         };
         let config = &self.config.itspq;
+        // Scatter (timed as a phase; certificate-failure fallback searches
+        // run inside it and are attributed here, not to the search phase).
+        let scatter_start = PhaseTimer::start();
+        let mut lead_indexed = false;
         for (k, (&i, path)) in members.iter().zip(paths).enumerate() {
             let q = &queries[i];
+            let seeded = k >= donor_len;
             let same_pos = pos_bits(q) == lead_pos;
             if same_pos && time_bits(q) == lead_time {
                 // Every member reports the group's (single) search: the
                 // work its answer actually cost. Summing member stats
                 // therefore overcounts a shared batch — sum per *search*
                 // via `BatchStats` instead.
+                if seeded {
+                    report.seeded_labels += 1;
+                }
                 out.push((i, Ok(QueryResult { path, stats })));
                 continue;
             }
-            let derived: Option<Option<Path>> = if q.target.partition == q.source.partition {
+            let mut retimed = false;
+            let mut derived: Option<Option<Path>> = if q.target.partition == q.source.partition {
                 // The member's own search would short-circuit before any
                 // TV check; recompute the straight segment from its own
                 // endpoints and departure — exact by construction.
+                retimed = same_pos;
                 Some(Some(direct_path(
                     &q.source,
                     &q.target,
                     config,
                     q.departure(),
                 )))
-            } else if same_pos {
+            } else if same_pos && q.departure() >= lead.departure() {
                 // Same start, later departure: retime iff the shift clears
                 // the smallest margin every lead arrival had to its next
                 // checkpoint — then every TV verdict provably transfers.
+                // The explicit ordering guard matters: `Timestamp`
+                // subtraction saturates at zero, so an *earlier*-departing
+                // member (possible for warm-seeded neighbors — the donor's
+                // lead is only the earliest of the donor) would otherwise
+                // masquerade as a zero shift and be wrongly certified.
                 let delta = (q.departure() - lead.departure()).seconds();
-                (delta + RETIME_SLACK_SECS < observer.min_margin_secs)
-                    .then(|| retime(path.as_ref(), q, config))
+                let ok = (delta + RETIME_SLACK_SECS < observer.min_margin_secs)
+                    .then(|| retime(path.as_ref(), q, config));
+                retimed = ok.is_some();
+                ok
             } else {
-                // Different start: replay the lead's decision trace against
-                // this member's own source legs and departure.
-                replay_member(self.graph.space(), config, &observer.events, q, k as u32).ok()
+                None
             };
+            if derived.is_none() && needs_trace {
+                // Different start — or a same-point member whose retime
+                // certificate failed: replay the lead's decision trace
+                // against this member's own source legs and departure.
+                if !lead_indexed {
+                    // Built once per group, shared by every member's replay.
+                    ws.lead
+                        .build(&observer.trace, self.graph.space().num_doors());
+                    lead_indexed = true;
+                }
+                derived = replay_member(
+                    self.graph.space(),
+                    config,
+                    &observer.trace,
+                    &ws.lead,
+                    q,
+                    k as u32,
+                    &mut ws.replay,
+                )
+                .ok();
+            }
             match derived {
                 Some(p) => {
-                    if same_pos {
+                    if retimed {
                         report.retimed += 1;
                     } else {
                         report.replayed += 1;
+                    }
+                    if seeded {
+                        report.seeded_labels += 1;
                     }
                     out.push((i, Ok(QueryResult { path: p, stats })));
                 }
                 None => {
                     let r = self.query(q);
                     report.fallbacks += 1;
+                    if seeded {
+                        report.seed_rejects += 1;
+                    }
                     report.views += r.stats.views_built;
                     out.push((i, Ok(r)));
                 }
             }
         }
+        report.scatter_nanos = scatter_start.elapsed_nanos();
+        ws.trace = observer.take_trace();
         report
     }
 
@@ -536,18 +723,21 @@ impl VenueServer {
         queries: &[Query],
         reject_malformed: bool,
     ) -> (Vec<Result<QueryResult, QueryError>>, BatchStats) {
-        let plan = self.plan(queries, reject_malformed);
+        let (plan, plan_nanos) = timed(|| self.plan(queries, reject_malformed));
         let mut stats = plan.stats();
+        stats.plan_nanos = plan_nanos;
         let items = &plan.items;
-        let workers = self.config.workers.clamp(1, items.len().max(1));
+        let workers = self.config.effective_workers().clamp(1, items.len().max(1));
 
         let mut report = ItemReport::default();
         let mut indexed: Vec<(usize, Result<QueryResult, QueryError>)>;
         if workers == 1 {
             indexed = Vec::with_capacity(queries.len());
+            let mut ws = self.scratch.checkout();
             for item in items {
-                report.absorb(self.run_item(queries, item, &mut indexed));
+                report.absorb(self.run_item(queries, &plan, item, &mut ws, &mut indexed));
             }
+            self.scratch.restore(ws);
         } else {
             let next = AtomicUsize::new(0);
             let per_worker: Vec<(Vec<_>, ItemReport)> = std::thread::scope(|scope| {
@@ -556,11 +746,15 @@ impl VenueServer {
                         scope.spawn(|| {
                             let mut local = Vec::new();
                             let mut report = ItemReport::default();
+                            let mut ws = self.scratch.checkout();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(item) = items.get(i) else { break };
-                                report.absorb(self.run_item(queries, item, &mut local));
+                                report.absorb(
+                                    self.run_item(queries, &plan, item, &mut ws, &mut local),
+                                );
                             }
+                            self.scratch.restore(ws);
                             (local, report)
                         })
                     })
@@ -584,11 +778,16 @@ impl VenueServer {
         // Correct the plan-derived books for execution-time fallbacks: each
         // one paid its own search (a group) and stopped being a reuse. The
         // report is a sum over items, so the totals are independent of how
-        // items were spread across workers.
+        // items were spread across workers (the phase timings sum each
+        // worker's busy time and are the only scheduling-dependent fields).
         stats.views_built += report.views;
         stats.replayed += report.replayed;
         stats.retimed += report.retimed;
         stats.fallbacks += report.fallbacks;
+        stats.seeded_labels += report.seeded_labels;
+        stats.seed_rejects += report.seed_rejects;
+        stats.search_nanos += report.search_nanos;
+        stats.scatter_nanos += report.scatter_nanos;
         stats.groups += report.fallbacks;
         stats.shared_queries -= report.fallbacks;
         stats.frontier_reuses -= report.fallbacks;
@@ -604,10 +803,114 @@ enum WorkItem {
     Single(usize),
     /// `queries[i]` failed validation; answer with the error, run nothing.
     Rejected(usize, QueryError),
-    /// Answer all member queries with one shared frontier. Invariants: ≥ 2
-    /// members, identical [`PlanKey`]s, all shared-eligible, the earliest
-    /// departure first.
-    Group(Vec<usize>),
+    /// Answer all member queries (a range of [`BatchPlan::members`]) with
+    /// one shared frontier. Invariants: ≥ 2 members, all shared-eligible,
+    /// the first `donor_len` share one [`PlanKey`] with the earliest
+    /// departure leading; any members beyond `donor_len` are warm-seeded
+    /// neighbors — other plan groups from the same partition and checkpoint
+    /// interval, answered from the donor's recorded frontier.
+    /// `donor_len == members.len()` means no donation happened.
+    Group {
+        members: Range<usize>,
+        donor_len: usize,
+    },
+}
+
+/// Demotes a 1-member roster to a [`WorkItem::Single`], otherwise rotates
+/// the earliest departure to the lead slot and appends the roster to the
+/// plan's member arena as a [`WorkItem::Group`] (no donation).
+fn flush_group(
+    queries: &[Query],
+    roster: &mut [usize],
+    items: &mut Vec<WorkItem>,
+    members: &mut Vec<usize>,
+) {
+    if let [only] = roster[..] {
+        items.push(WorkItem::Single(only));
+        return;
+    }
+    rotate_earliest_lead(queries, roster);
+    let start = members.len();
+    members.extend_from_slice(roster);
+    items.push(WorkItem::Group {
+        members: start..members.len(),
+        donor_len: roster.len(),
+    });
+}
+
+/// Swaps the member with the earliest departure (first occurrence on ties)
+/// into slot 0, so retime deltas within the roster are non-negative; under
+/// exact keys all times are equal and the rotation is the identity.
+fn rotate_earliest_lead(queries: &[Query], roster: &mut [usize]) {
+    let lead = roster
+        .iter()
+        .enumerate()
+        .min_by_key(|&(pos, &i)| (queries[i].time, pos))
+        .map_or(0, |(pos, _)| pos);
+    roster.swap(0, lead);
+}
+
+/// Pooled planner state, reused across `plan` calls (see the satellite
+/// allocation-churn note in `ARCHITECTURE.md` §Shared execution): the
+/// grouping hash map and the per-group rosters. Guarded by a mutex so `plan`
+/// keeps taking `&self`; concurrent planners fall back to queueing on the
+/// lock (batches are planned one at a time per server in every entry point).
+#[derive(Debug, Default)]
+struct PlanScratch {
+    group_of: HashMap<PlanKey, usize>,
+    groups: Vec<Vec<usize>>,
+}
+
+/// Per-worker reusable buffers: the recorded trace, the replay label state
+/// and the gathered target list. Checked out of [`ScratchPool`] once per
+/// worker per batch, so steady-state batch execution allocates nothing per
+/// group.
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    trace: Trace,
+    lead: LeadIndex,
+    replay: ReplayScratch,
+    targets: Vec<IndoorPoint>,
+}
+
+/// The server's scratch arena: planner state plus a stack of worker
+/// scratches (one per concurrently executing worker, grown on demand).
+#[derive(Debug, Default)]
+struct ScratchPool {
+    plan: Mutex<PlanScratch>,
+    workers: Mutex<Vec<WorkerScratch>>,
+}
+
+impl ScratchPool {
+    fn checkout(&self) -> WorkerScratch {
+        self.workers.lock().pop().unwrap_or_default()
+    }
+
+    fn restore(&self, ws: WorkerScratch) {
+        self.workers.lock().push(ws);
+    }
+}
+
+/// Monotonic phase-timer reads for [`BatchStats`] attribution — the only
+/// wall-clock touches in core's library code, confined here and feeding
+/// telemetry only, never answers.
+struct PhaseTimer(std::time::Instant); // itspq-lint: allow(no-wall-clock-in-core, "monotonic phase timing for BatchStats telemetry; never feeds answers")
+
+impl PhaseTimer {
+    fn start() -> Self {
+        Self(std::time::Instant::now()) // itspq-lint: allow(no-wall-clock-in-core, "monotonic phase timing for BatchStats telemetry; never feeds answers")
+    }
+
+    fn elapsed_nanos(&self) -> u64 {
+        self.0.elapsed().as_nanos() as u64
+    }
+}
+
+/// Runs `f`, returning its result and the elapsed monotonic nanoseconds.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let start = PhaseTimer::start();
+    let out = f();
+    (out, start.elapsed_nanos())
 }
 
 /// The planner's grouping key, one variant per sharing level. Strictly
@@ -636,6 +939,10 @@ struct ItemReport {
     replayed: usize,
     retimed: usize,
     fallbacks: usize,
+    seeded_labels: usize,
+    seed_rejects: usize,
+    search_nanos: u64,
+    scatter_nanos: u64,
 }
 
 impl ItemReport {
@@ -644,6 +951,10 @@ impl ItemReport {
         self.replayed += other.replayed;
         self.retimed += other.retimed;
         self.fallbacks += other.fallbacks;
+        self.seeded_labels += other.seeded_labels;
+        self.seed_rejects += other.seed_rejects;
+        self.search_nanos += other.search_nanos;
+        self.scatter_nanos += other.scatter_nanos;
     }
 }
 
@@ -692,6 +1003,9 @@ fn retime(path: Option<&Path>, q: &Query, config: &ItspqConfig) -> Option<Path> 
 pub struct BatchPlan {
     queries: usize,
     items: Vec<WorkItem>,
+    /// Arena of group member indices; each [`WorkItem::Group`] holds a range
+    /// into it (one allocation per plan instead of one per group).
+    members: Vec<usize>,
 }
 
 impl BatchPlan {
@@ -709,7 +1023,7 @@ impl BatchPlan {
     pub fn shared_groups(&self) -> usize {
         self.items
             .iter()
-            .filter(|i| matches!(i, WorkItem::Group(_)))
+            .filter(|i| matches!(i, WorkItem::Group { .. }))
             .count()
     }
 
@@ -719,14 +1033,27 @@ impl BatchPlan {
         self.items
             .iter()
             .map(|i| match i {
-                WorkItem::Group(m) => m.len(),
+                WorkItem::Group { members, .. } => members.len(),
                 _ => 0,
             })
             .sum()
     }
 
-    /// The batch-level report this plan implies (`views_built` is filled in
-    /// during execution).
+    /// Number of groups that will run warm-started: merged from several plan
+    /// groups, with the donor's frontier answering the seeded neighbors.
+    #[must_use]
+    pub fn warm_starts(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| {
+                matches!(i, WorkItem::Group { members, donor_len } if *donor_len < members.len())
+            })
+            .count()
+    }
+
+    /// The batch-level report this plan implies (`views_built`, the derived
+    /// answer counters and the phase timings are filled in during
+    /// execution).
     #[must_use]
     pub fn stats(&self) -> BatchStats {
         let rejected = self
@@ -740,6 +1067,7 @@ impl BatchPlan {
             shared_queries: self.shared_queries(),
             frontier_reuses: self.shared_queries() - self.shared_groups(),
             rejected,
+            warm_starts: self.warm_starts(),
             ..BatchStats::default()
         }
     }
@@ -771,7 +1099,7 @@ mod tests {
     fn batch_matches_sequential_itg_s() {
         let ex = paper_example::build();
         let graph = ItGraph::shared(ex.space.clone());
-        let server = VenueServer::new(graph.clone()).with_workers(4);
+        let server = VenueServer::new(graph.clone()).with_pinned_workers(4);
         let syn = SynEngine::new(graph, ItspqConfig::default());
         let batch = example_batch(&ex);
         let answers = server.query_batch(&batch);
@@ -810,12 +1138,43 @@ mod tests {
     }
 
     #[test]
+    fn effective_workers_clamp_to_host_unless_pinned() {
+        let host = host_parallelism();
+        // A wildly oversubscribed request follows the machine …
+        let config = ServerConfig {
+            workers: 4096,
+            ..ServerConfig::default()
+        };
+        assert_eq!(config.effective_workers(), host.clamp(1, 4096));
+        assert!(config.effective_workers() <= host);
+        // … unless explicitly pinned (bench worker sweeps measure these).
+        let pinned = ServerConfig {
+            workers: 4096,
+            pin_workers: true,
+            ..ServerConfig::default()
+        };
+        assert_eq!(pinned.effective_workers(), 4096);
+        // Zero still clamps up to one either way.
+        let zero = ServerConfig {
+            workers: 0,
+            pin_workers: true,
+            ..ServerConfig::default()
+        };
+        assert_eq!(zero.effective_workers(), 1);
+        // The builder pins.
+        let ex = paper_example::build();
+        let server = VenueServer::new(ItGraph::new(ex.space)).with_pinned_workers(12);
+        assert!(server.config().pin_workers);
+        assert_eq!(server.config().effective_workers(), 12);
+    }
+
+    #[test]
     fn syn_method_answers_identically() {
         let ex = paper_example::build();
         let graph = ItGraph::shared(ex.space.clone());
-        let asyn_server = VenueServer::new(graph.clone()).with_workers(3);
+        let asyn_server = VenueServer::new(graph.clone()).with_pinned_workers(3);
         let syn_server = VenueServer::new(graph)
-            .with_workers(3)
+            .with_pinned_workers(3)
             .with_method(ServeMethod::Syn);
         let batch = example_batch(&ex);
         let a = asyn_server.query_batch(&batch);
@@ -846,7 +1205,7 @@ mod tests {
     #[test]
     fn cold_batch_builds_each_view_once() {
         let ex = paper_example::build();
-        let server = VenueServer::new(ItGraph::shared(ex.space.clone())).with_workers(4);
+        let server = VenueServer::new(ItGraph::shared(ex.space.clone())).with_pinned_workers(4);
         let answers = server.query_batch(&example_batch(&ex));
         let built: usize = answers.iter().map(|r| r.stats.views_built).sum();
         assert_eq!(
@@ -909,7 +1268,7 @@ mod tests {
     #[test]
     fn shared_answers_are_byte_identical_to_independent() {
         let ex = paper_example::build();
-        let shared = sharing_server(&ex).with_workers(3);
+        let shared = sharing_server(&ex).with_pinned_workers(3);
         let mut config = *shared.config();
         config.strategy = BatchStrategy::Independent;
         let independent = VenueServer::with_config(ItGraph::shared(ex.space.clone()), config);
@@ -1019,7 +1378,7 @@ mod tests {
             .items
             .iter()
             .filter_map(|it| match it {
-                WorkItem::Group(m) => Some(m[0]),
+                WorkItem::Group { members, .. } => Some(plan.members[members.start]),
                 _ => None,
             })
             .collect();
@@ -1086,6 +1445,81 @@ mod tests {
             stats.retimed > 0,
             "same-point later departures must be answered by retime: {stats}"
         );
+    }
+
+    #[test]
+    fn warm_start_donates_frontiers_across_door_groups() {
+        let ex = paper_example::build();
+        let warm = sharing_server(&ex)
+            .with_strategy(BatchStrategy::SharedDoor)
+            .with_warm_start(true);
+        let p3 = ex.p3.partition;
+        let at = |x: f64, y: f64| indoor_space::IndoorPoint::new(p3, indoor_geom::Point::new(x, y));
+        // Three door-level plan groups (9:00, 9:20 and the 9:40 singleton)
+        // leave p3 inside one checkpoint interval: warm starting merges them
+        // behind the largest group's frontier.
+        let batch = vec![
+            Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0)),
+            Query::new(at(1.0, 1.0), ex.p4, TimeOfDay::hm(9, 0)),
+            Query::new(at(2.5, 0.5), ex.p2, TimeOfDay::hm(9, 0)),
+            Query::new(ex.p3, ex.p2, TimeOfDay::hm(9, 20)),
+            Query::new(at(1.0, 1.0), ex.p1, TimeOfDay::hm(9, 20)),
+            Query::new(at(0.5, 2.0), ex.p1, TimeOfDay::hm(9, 40)),
+        ];
+        let plan = warm.plan(&batch, false);
+        assert_eq!(plan.warm_starts(), 1, "the three 9:xx groups must merge");
+        assert_eq!(plan.searches(), 1);
+        assert_eq!(plan.shared_queries(), 6);
+        // Cold door-level planning pays one search per distinct instant.
+        let cold = sharing_server(&ex).with_strategy(BatchStrategy::SharedDoor);
+        assert_eq!(cold.plan(&batch, false).warm_starts(), 0);
+        assert_eq!(cold.plan(&batch, false).searches(), 3);
+        // Execution books: warm starts engage, every seeded member is
+        // accounted as seeded or rejected, identity holds.
+        let (_, stats) = warm.query_batch_with_stats(&batch);
+        assert!(stats.is_consistent(), "{stats}");
+        assert!(stats.warm_starts > 0, "warm starts must engage: {stats}");
+        assert_eq!(
+            stats.seeded_labels + stats.seed_rejects,
+            3,
+            "the 9:20 pair and the 9:40 singleton are seeded: {stats}"
+        );
+        assert!(
+            stats.seeded_labels > 0,
+            "donation must answer at least one member: {stats}"
+        );
+        // And the answers stay byte-identical to per-query execution.
+        assert_parity(&warm, &batch);
+    }
+
+    #[test]
+    fn warm_start_books_stay_consistent_on_mixed_batches() {
+        let ex = paper_example::build();
+        let mut batch = skewed_batch(&ex);
+        batch.extend(door_batch(&ex));
+        batch.extend(interval_batch(&ex));
+        for strategy in [BatchStrategy::SharedDoor, BatchStrategy::SharedInterval] {
+            let server = sharing_server(&ex)
+                .with_strategy(strategy)
+                .with_warm_start(true);
+            let (_, stats) = server.query_batch_with_stats(&batch);
+            assert!(
+                stats.is_consistent(),
+                "warm {strategy:?} broke the accounting identity: {stats}"
+            );
+            assert_parity(&server, &batch);
+        }
+        // At SharedInterval the neighborhood key equals the plan key: warm
+        // merging must be the identity.
+        let interval = sharing_server(&ex).with_strategy(BatchStrategy::SharedInterval);
+        let warm_interval = sharing_server(&ex)
+            .with_strategy(BatchStrategy::SharedInterval)
+            .with_warm_start(true);
+        assert_eq!(
+            warm_interval.plan(&batch, false).searches(),
+            interval.plan(&batch, false).searches()
+        );
+        assert_eq!(warm_interval.plan(&batch, false).warm_starts(), 0);
     }
 
     #[test]

@@ -123,6 +123,31 @@ pub struct BatchStats {
     /// answered by their own per-query search instead (also counted in
     /// `groups`, subtracted from `shared_queries`/`frontier_reuses`).
     pub fallbacks: usize,
+    /// Warm-started groups: plan groups merged with same-partition,
+    /// same-checkpoint-interval neighbors whose members are answered from
+    /// the donor group's recorded frontier (`ServerConfig::warm_start`).
+    #[serde(default)]
+    pub warm_starts: usize,
+    /// Warm-seeded members answered from a donated frontier (by replay,
+    /// retime or duplicate/direct derivation) without paying a search.
+    #[serde(default)]
+    pub seeded_labels: usize,
+    /// Warm-seeded members whose derivation certificate failed; they fell
+    /// back to their own per-query search (also counted in `fallbacks`).
+    #[serde(default)]
+    pub seed_rejects: usize,
+    /// Monotonic nanoseconds spent planning the batch (grouping + keying).
+    #[serde(default)]
+    pub plan_nanos: u64,
+    /// Monotonic nanoseconds spent in physical searches (summed across
+    /// workers, so > wall-clock when workers overlap).
+    #[serde(default)]
+    pub search_nanos: u64,
+    /// Monotonic nanoseconds spent scattering group answers to members
+    /// (derivations, replays and certificate-failure fallback searches;
+    /// summed across workers).
+    #[serde(default)]
+    pub scatter_nanos: u64,
 }
 
 impl BatchStats {
@@ -145,6 +170,23 @@ impl BatchStats {
             && self.frontier_reuses + self.rejected <= self.queries
             && self.replayed + self.retimed <= self.frontier_reuses
             && self.shared_queries <= self.queries - self.rejected
+            && self.seeded_labels <= self.frontier_reuses
+            && self.seed_rejects <= self.fallbacks
+            && self.warm_starts <= self.groups
+    }
+
+    /// A copy with the phase timings zeroed: the deterministic part of the
+    /// report. Everything else is a pure sum over plan items, so two runs of
+    /// the same batch — any worker count, any scheduling — compare equal
+    /// here while the raw struct differs in measured nanoseconds.
+    #[must_use]
+    pub fn timings_zeroed(&self) -> BatchStats {
+        BatchStats {
+            plan_nanos: 0,
+            search_nanos: 0,
+            scatter_nanos: 0,
+            ..*self
+        }
     }
 }
 
@@ -163,7 +205,24 @@ impl std::fmt::Display for BatchStats {
             self.retimed,
             self.fallbacks,
             self.rejected,
-        )
+        )?;
+        if self.warm_starts > 0 {
+            write!(
+                f,
+                ", {} warm starts ({} seeded, {} seed rejects)",
+                self.warm_starts, self.seeded_labels, self.seed_rejects,
+            )?;
+        }
+        if self.plan_nanos + self.search_nanos + self.scatter_nanos > 0 {
+            write!(
+                f,
+                ", phases plan {:.2}ms / search {:.2}ms / scatter {:.2}ms",
+                self.plan_nanos as f64 / 1e6,
+                self.search_nanos as f64 / 1e6,
+                self.scatter_nanos as f64 / 1e6,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -222,6 +281,66 @@ mod tests {
         // A lost fallback adjustment breaks the identity.
         let bad = BatchStats { groups: 6, ..ok };
         assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn warm_books_and_timings_feed_consistency_and_zeroing() {
+        let s = BatchStats {
+            queries: 10,
+            groups: 3,
+            shared_queries: 8,
+            frontier_reuses: 6,
+            rejected: 1,
+            replayed: 3,
+            retimed: 1,
+            fallbacks: 1,
+            warm_starts: 1,
+            seeded_labels: 2,
+            seed_rejects: 1,
+            plan_nanos: 1_000,
+            search_nanos: 2_000,
+            scatter_nanos: 3_000,
+            ..BatchStats::default()
+        };
+        assert!(s.is_consistent());
+        // Seeded members are a subset of the reuses; rejects of fallbacks.
+        assert!(!BatchStats {
+            seeded_labels: 7,
+            ..s
+        }
+        .is_consistent());
+        assert!(!BatchStats {
+            seed_rejects: 2,
+            ..s
+        }
+        .is_consistent());
+        assert!(!BatchStats {
+            warm_starts: 4,
+            ..s
+        }
+        .is_consistent());
+        // Zeroing strips exactly the timing fields.
+        let z = s.timings_zeroed();
+        assert_eq!((z.plan_nanos, z.search_nanos, z.scatter_nanos), (0, 0, 0));
+        assert_eq!(
+            z,
+            BatchStats {
+                plan_nanos: 0,
+                search_nanos: 0,
+                scatter_nanos: 0,
+                ..s
+            }
+        );
+        // Two runs differing only in measured time agree after zeroing.
+        let other = BatchStats {
+            plan_nanos: 999,
+            ..s
+        };
+        assert_ne!(s, other);
+        assert_eq!(s.timings_zeroed(), other.timings_zeroed());
+        let text = s.to_string();
+        assert!(text.contains("1 warm starts (2 seeded, 1 seed rejects)"));
+        assert!(text.contains("phases plan 0.00ms"));
     }
 
     #[test]

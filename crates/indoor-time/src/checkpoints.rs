@@ -134,6 +134,40 @@ impl CheckpointSet {
     pub fn margin_to_next(&self, ts: Timestamp) -> f64 {
         (self.next_instant(ts) - ts).seconds()
     }
+
+    /// The half-open timeline window `[lo, hi)` — in raw timeline seconds —
+    /// of the constant-topology interval containing `ts`: `lo` is the
+    /// instant of the latest checkpoint at or before `ts` on `ts`'s day,
+    /// `hi` the instant of the next checkpoint after it (next-day midnight
+    /// in the day's last interval, exactly as [`CheckpointSet::next_instant`]
+    /// computes it).
+    ///
+    /// For finite timestamps this is the *membership form* of
+    /// [`CheckpointSet::same_topology_interval`]:
+    ///
+    /// `same_topology_interval(a, b)  ⟺  lo(a) <= b.seconds() < hi(a)`
+    ///
+    /// (same day offset and same within-day interval index on the left;
+    /// the equivalence is pinned by tests, including across the midnight
+    /// wrap). Replay verification precomputes these bounds once per recorded
+    /// relaxation so each member's interval-identity check is two `f64`
+    /// comparisons instead of two binary searches. The margin of
+    /// [`CheckpointSet::margin_to_next`] is `hi - ts.seconds()` for free.
+    ///
+    /// Degenerate (non-finite) timestamps return an empty window, so no
+    /// instant — not even the input itself — certifies against them.
+    #[must_use]
+    pub fn timeline_interval(&self, ts: Timestamp) -> (f64, f64) {
+        let day_base = f64::from(ts.day_offset()) * crate::SECONDS_PER_DAY;
+        let tod = ts.time_of_day();
+        let lo = day_base + self.previous(tod).seconds();
+        let hi = match self.next(tod) {
+            Some(cp) => day_base + cp.seconds(),
+            // Wrap to the first checkpoint (midnight) of the next day.
+            None => day_base + crate::SECONDS_PER_DAY,
+        };
+        (lo, hi)
+    }
 }
 
 impl fmt::Display for CheckpointSet {
@@ -268,6 +302,42 @@ mod tests {
         let late = Timestamp::from_time_of_day(TimeOfDay::hm(20, 0));
         assert!((cps.margin_to_next(late) - 4.0 * 3600.0).abs() < 1e-9);
         assert!(cps.margin_to_next(late) > 0.0);
+    }
+
+    #[test]
+    fn timeline_interval_is_membership_form_of_same_topology_interval() {
+        let cps = sample(); // checkpoints at 0:00, 8:00, 9:00, 16:00
+        let day = crate::SECONDS_PER_DAY;
+        let anchors = [
+            Timestamp::from_time_of_day(TimeOfDay::hm(0, 0)),
+            Timestamp::from_time_of_day(TimeOfDay::hm(8, 30)),
+            Timestamp::from_time_of_day(TimeOfDay::hm(9, 0)),
+            Timestamp::from_time_of_day(TimeOfDay::hm(20, 0)), // last interval: wraps
+            Timestamp::from_seconds(day + 10.0 * 3600.0).unwrap(), // next day
+        ];
+        let probes: Vec<Timestamp> = (0..2 * 24 * 4)
+            .map(|q| Timestamp::from_seconds(f64::from(q) * 900.0).unwrap())
+            .collect();
+        for a in anchors {
+            let (lo, hi) = cps.timeline_interval(a);
+            assert!(
+                lo <= a.seconds() && a.seconds() < hi,
+                "window contains its anchor"
+            );
+            // Bit-exact margin agreement: both sides compute
+            // `day_base + checkpoint.seconds() - ts.seconds()`.
+            assert_eq!(cps.margin_to_next(a), hi - a.seconds());
+            for &b in &probes {
+                assert_eq!(
+                    cps.same_topology_interval(a, b),
+                    lo <= b.seconds() && b.seconds() < hi,
+                    "membership form diverges at anchor {a:?}, probe {b:?}"
+                );
+            }
+        }
+        // Day wrap: 20:00's window closes at next-day midnight exactly.
+        let (_, hi) = cps.timeline_interval(Timestamp::from_time_of_day(TimeOfDay::hm(20, 0)));
+        assert_eq!(hi, day);
     }
 
     #[test]

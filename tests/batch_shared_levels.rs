@@ -173,13 +173,20 @@ fn stats_are_identical_across_worker_counts() {
         BatchStrategy::SharedDoor,
         BatchStrategy::SharedInterval,
     ] {
+        // Pinned so the 4-worker run really threads even on a 1-core host;
+        // timings are measured wall-clock and are the one legitimately
+        // nondeterministic part of the report, so compare them zeroed.
         let (r1, s1) = server(&ex, strategy)
-            .with_workers(1)
+            .with_pinned_workers(1)
             .query_batch_with_stats(&batch);
         let (r4, s4) = server(&ex, strategy)
-            .with_workers(4)
+            .with_pinned_workers(4)
             .query_batch_with_stats(&batch);
-        assert_eq!(s1, s4, "{strategy:?}: stats depend on worker count");
+        assert_eq!(
+            s1.timings_zeroed(),
+            s4.timings_zeroed(),
+            "{strategy:?}: stats depend on worker count"
+        );
         for (a, b) in r1.iter().zip(&r4) {
             assert_eq!(
                 a.path, b.path,
@@ -187,4 +194,122 @@ fn stats_are_identical_across_worker_counts() {
             );
         }
     }
+}
+
+/// A warm door-level server: frontier donation across same-interval groups.
+fn warm_server(ex: &paper_example::PaperExample) -> VenueServer {
+    let config = ServerConfig {
+        strategy: BatchStrategy::SharedDoor,
+        warm_start: true,
+        itspq: ItspqConfig::full_relax().with_asyn_mode(AsynMode::Exact),
+        ..ServerConfig::default()
+    };
+    VenueServer::with_config(ItGraph::shared(ex.space.clone()), config)
+}
+
+#[test]
+fn warm_donor_fully_sealed_at_member_departure_matches_per_query() {
+    // 23:30: d18 is sealed, so the donor group's frontier dies immediately
+    // (every p3 exit rejected). The 23:40 neighbors are seeded from that
+    // dead frontier and must reach the identical "no such routes" verdicts
+    // — or fall back — never a phantom route.
+    let ex = paper_example::build();
+    let srv = warm_server(&ex);
+    let elsewhere = IndoorPoint::new(ex.p3.partition, indoor_geom_point(1.0, 1.0));
+    let far = IndoorPoint::new(ex.p3.partition, indoor_geom_point(2.5, 0.5));
+    let batch = vec![
+        Query::new(ex.p3, ex.p4, TimeOfDay::hm(23, 30)),
+        Query::new(elsewhere, ex.p2, TimeOfDay::hm(23, 30)),
+        Query::new(far, ex.p4, TimeOfDay::hm(23, 40)), // seeded group
+        Query::new(elsewhere, ex.p4, TimeOfDay::hm(23, 40)),
+    ];
+    let plan = srv.plan(&batch, false);
+    assert_eq!(
+        plan.searches(),
+        1,
+        "both night groups must merge behind one donor"
+    );
+    assert_pinned(&srv, &batch, "sealed donor frontier");
+    let got = srv.try_query_batch(&batch);
+    assert!(
+        !result_found(&got[0]) && !result_found(&got[2]),
+        "d18 sealed: the p4 legs must be unroutable"
+    );
+    let (_, stats) = srv.query_batch_with_stats(&batch);
+    assert!(stats.is_consistent(), "{stats}");
+    assert!(stats.warm_starts > 0, "{stats}");
+}
+
+#[test]
+fn warm_merged_singletons_donate_an_empty_frontier_delta() {
+    // Two singleton plan groups in one interval: warm merging is the only
+    // reason either shares at all. The donor is a lone query whose frontier
+    // answers the other — including when the donor's own target is
+    // unreachable (empty result, non-empty frontier).
+    let ex = paper_example::build();
+    let srv = warm_server(&ex);
+    let elsewhere = IndoorPoint::new(ex.p3.partition, indoor_geom_point(1.0, 1.0));
+    let batch = vec![
+        Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0)),
+        Query::new(elsewhere, ex.p2, TimeOfDay::hm(9, 20)),
+    ];
+    let plan = srv.plan(&batch, false);
+    assert_eq!(plan.searches(), 1, "two singletons must merge");
+    assert_eq!(plan.shared_queries(), 2);
+    assert_pinned(&srv, &batch, "merged singleton donation");
+    let (_, stats) = srv.query_batch_with_stats(&batch);
+    assert!(stats.is_consistent(), "{stats}");
+    assert_eq!(stats.warm_starts, 1, "{stats}");
+    assert_eq!(stats.seeded_labels + stats.seed_rejects, 1, "{stats}");
+}
+
+#[test]
+fn warm_member_source_on_a_donated_settled_door_matches_per_query() {
+    // The seeded member starts bitwise on d18's position — a door the
+    // donor's sweep settles. Its replay sees a 0.0-length source leg onto a
+    // settled label; the answer must still be byte-for-byte per-query.
+    let ex = paper_example::build();
+    let srv = warm_server(&ex);
+    let on_door = IndoorPoint::new(ex.p3.partition, ex.space.door(ex.d(18)).position);
+    let elsewhere = IndoorPoint::new(ex.p3.partition, indoor_geom_point(1.0, 1.0));
+    let batch = vec![
+        Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0)),
+        Query::new(elsewhere, ex.p2, TimeOfDay::hm(9, 0)),
+        Query::new(on_door, ex.p4, TimeOfDay::hm(9, 20)), // seeded, on-door
+        Query::new(on_door, ex.p1, TimeOfDay::hm(9, 20)),
+    ];
+    let plan = srv.plan(&batch, false);
+    assert_eq!(plan.searches(), 1);
+    assert_pinned(&srv, &batch, "seeded source on settled door");
+    let got = srv.try_query_batch(&batch);
+    assert!(result_found(&got[2]) && result_found(&got[3]));
+    let (_, stats) = srv.query_batch_with_stats(&batch);
+    assert!(stats.is_consistent(), "{stats}");
+    assert!(stats.warm_starts > 0, "{stats}");
+}
+
+#[test]
+fn warm_earlier_departing_seeded_member_matches_per_query() {
+    // The donor (largest group) departs at 9:20; the seeded neighbors
+    // depart *earlier* at 9:05 — including one from the donor's own source
+    // point, which must not be retimed through the saturating-to-zero
+    // timestamp delta. Replay (whose windows use the member's own clock)
+    // or fallback must answer them, byte-for-byte.
+    let ex = paper_example::build();
+    let srv = warm_server(&ex);
+    let elsewhere = IndoorPoint::new(ex.p3.partition, indoor_geom_point(1.0, 1.0));
+    let far = IndoorPoint::new(ex.p3.partition, indoor_geom_point(2.5, 0.5));
+    let batch = vec![
+        Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 20)),
+        Query::new(elsewhere, ex.p2, TimeOfDay::hm(9, 20)),
+        Query::new(far, ex.p1, TimeOfDay::hm(9, 20)),
+        Query::new(ex.p3, ex.p2, TimeOfDay::hm(9, 5)), // seeded, earlier, same pos as lead
+        Query::new(elsewhere, ex.p4, TimeOfDay::hm(9, 5)),
+    ];
+    let plan = srv.plan(&batch, false);
+    assert_eq!(plan.searches(), 1, "9:20 trio donates to the 9:05 pair");
+    assert_pinned(&srv, &batch, "earlier-departing seeded member");
+    let (_, stats) = srv.query_batch_with_stats(&batch);
+    assert!(stats.is_consistent(), "{stats}");
+    assert!(stats.warm_starts > 0, "{stats}");
 }

@@ -134,6 +134,7 @@ fn threads_submitting_overlapping_skewed_batches_stay_in_input_order() {
         method: ServeMethod::Asyn,
         strategy: BatchStrategy::Shared,
         itspq: ItspqConfig::full_relax(),
+        ..ServerConfig::default()
     };
 
     // Zipf-skewed sources from a hot pool of 3: heavy duplication makes the

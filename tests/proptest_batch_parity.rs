@@ -197,9 +197,14 @@ fn sharing_server(
 ) -> VenueServer {
     let config = ServerConfig {
         workers,
+        // Pinned: the properties range workers over {1, 4} to hunt for
+        // scheduling-dependent answers, which requires the pool to really
+        // have 4 threads even on a single-core CI host.
+        pin_workers: true,
         method,
         strategy,
         itspq: ItspqConfig::full_relax().with_asyn_mode(mode),
+        ..ServerConfig::default()
     };
     VenueServer::with_config(graph.clone(), config)
 }
@@ -391,30 +396,79 @@ proptest! {
     }
 
     /// Every sharing level keeps the batch books balanced, and the whole
-    /// report — replays, retimes, fallbacks, views — is independent of the
-    /// worker count.
+    /// report — replays, retimes, fallbacks, views, warm-start seeding — is
+    /// independent of the worker count (phase timings, the one wall-clock
+    /// part, compared zeroed).
     #[test]
     fn leveled_stats_are_consistent_and_worker_independent(
         seed in 0u64..150,
         size in 4usize..20,
+        warm in any::<bool>(),
     ) {
         let (graph, pts) = venue_and_points(seed, 6);
         let cluster = partition_clustered_points(&graph, seed, 2, 3);
         prop_assert!(!cluster.is_empty());
         let batch = clustered_batch(&cluster, &pts, seed, size);
         for strategy in LEVELS {
-            let one = sharing_server(&graph, ServeMethod::Asyn, AsynMode::Exact, 1, strategy);
-            let four = sharing_server(&graph, ServeMethod::Asyn, AsynMode::Exact, 4, strategy);
+            let one = sharing_server(&graph, ServeMethod::Asyn, AsynMode::Exact, 1, strategy)
+                .with_warm_start(warm);
+            let four = sharing_server(&graph, ServeMethod::Asyn, AsynMode::Exact, 4, strategy)
+                .with_warm_start(warm);
             let (_, s1) = one.query_batch_with_stats(&batch);
             let (_, s4) = four.query_batch_with_stats(&batch);
             prop_assert!(
                 s1.is_consistent(),
-                "{:?} broke the accounting identity (seed {}): {}", strategy, seed, s1
+                "{:?} (warm {}) broke the accounting identity (seed {}): {}",
+                strategy, warm, seed, s1
             );
             prop_assert_eq!(
-                s1, s4,
-                "stats depend on worker count under {:?} (seed {})", strategy, seed
+                s1.timings_zeroed(), s4.timings_zeroed(),
+                "stats depend on worker count under {:?} (warm {}, seed {})",
+                strategy, warm, seed
             );
+        }
+    }
+
+    /// Warm-start frontier donation is answer-invisible: with `warm_start`
+    /// enabled, door- and interval-level sharing stay byte-identical to
+    /// per-query execution for every engine (ITG/S, ITG/A Exact, stateful
+    /// ITG/A Faithful) and workers ∈ {1, 4}, on partition-clustered batches
+    /// with jittered departures, sealed night doors and malformed queries
+    /// (NaN source, unknown-partition target) mixed in.
+    #[test]
+    fn warm_start_sharing_matches_per_query(
+        seed in 0u64..150,
+        size in 2usize..18,
+        worker_sel in 0usize..2,
+    ) {
+        let workers = [1, 4][worker_sel];
+        let (graph, pts) = venue_and_points(seed, 6);
+        let cluster = partition_clustered_points(&graph, seed, 2, 3);
+        prop_assert!(!cluster.is_empty());
+        let mut batch = clustered_batch(&cluster, &pts, seed, size);
+        inject_malformed(&mut batch, seed);
+        for strategy in [BatchStrategy::SharedDoor, BatchStrategy::SharedInterval] {
+            for (method, mode) in [
+                (ServeMethod::Syn, AsynMode::Exact),
+                (ServeMethod::Asyn, AsynMode::Exact),
+                (ServeMethod::Asyn, AsynMode::Faithful),
+            ] {
+                let server = sharing_server(&graph, method, mode, workers, strategy)
+                    .with_warm_start(true);
+                let shared = server.try_query_batch(&batch);
+                prop_assert_eq!(shared.len(), batch.len());
+                for (i, (q, got)) in batch.iter().zip(&shared).enumerate() {
+                    let want = server.try_query(q);
+                    prop_assert_eq!(
+                        rendered(&got.as_ref().map(|r| &r.path)),
+                        rendered(&want.as_ref().map(|r| &r.path)),
+                        "warm {:?}/{:?}/{:?} w{} diverges at index {} (seed {}): \
+                         query {:?} got {} want {}",
+                        strategy, method, mode, workers, i, seed, q,
+                        outcome_kind(got), outcome_kind(&want)
+                    );
+                }
+            }
         }
     }
 }
