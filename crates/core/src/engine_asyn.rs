@@ -36,7 +36,7 @@
 //! assert!(night.path.is_none());
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
 use indoor_space::{DoorId, IndoorPoint, PartitionId};
@@ -68,7 +68,10 @@ type ViewSlot = Arc<OnceLock<Arc<ReducedGraph>>>;
 pub struct AsynEngine {
     graph: Arc<ItGraph>,
     config: ItspqConfig,
-    cache: RwLock<HashMap<usize, ViewSlot>>,
+    // A BTreeMap so every enumeration of the cache (stats, byte counts) is
+    // in interval order — hasher-state iteration in a parity-critical
+    // module would trip `nondet-iteration`, and deservedly.
+    cache: RwLock<BTreeMap<usize, ViewSlot>>,
 }
 
 impl AsynEngine {
@@ -79,7 +82,7 @@ impl AsynEngine {
         AsynEngine {
             graph: graph.into(),
             config,
-            cache: RwLock::new(HashMap::new()),
+            cache: RwLock::new(BTreeMap::new()),
         }
     }
 

@@ -118,7 +118,7 @@ impl Query {
 /// time, so the key hashes their bit patterns. The checkpoint interval is
 /// derived (equal times imply equal intervals) and carried for telemetry:
 /// it is what batch dashboards group sharing ratios by.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GroupKey {
     /// The source partition `P(ps)`.
     pub partition: PartitionId,

@@ -42,7 +42,7 @@
 //! assert!(answers[1].path.is_none());
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -404,7 +404,7 @@ impl VenueServer {
         let mut items: Vec<WorkItem> = Vec::with_capacity(queries.len());
         // The grouping map and the per-group rosters are pooled on the
         // server: planning a steady stream of batches reuses one allocation
-        // set instead of rebuilding a HashMap and one Vec per group each
+        // set instead of rebuilding a map and one Vec per group each
         // call. Rosters are compacted into the plan-owned `members` arena
         // (one allocation) on the way out.
         let mut scratch = self.scratch.plan.lock(); // itspq-lint: allow(lock-scope, "plan scratch guard spans the grouping loop by design; the or_insert_with closure only grows a pooled roster Vec — no cache build, no re-entrant locking")
@@ -467,7 +467,7 @@ impl VenueServer {
             // frontier under the usual certificates. At `SharedInterval`
             // the plan key equals the neighborhood key, so every
             // neighborhood is a single group and this is the identity.
-            let mut hood_of: HashMap<(PartitionId, usize), usize> = HashMap::new();
+            let mut hood_of: BTreeMap<(PartitionId, usize), usize> = BTreeMap::new();
             let mut hoods: Vec<Vec<usize>> = Vec::new();
             for g in 0..active {
                 let q = &queries[groups[g][0]];
@@ -852,12 +852,15 @@ fn rotate_earliest_lead(queries: &[Query], roster: &mut [usize]) {
 
 /// Pooled planner state, reused across `plan` calls (see the satellite
 /// allocation-churn note in `ARCHITECTURE.md` §Shared execution): the
-/// grouping hash map and the per-group rosters. Guarded by a mutex so `plan`
-/// keeps taking `&self`; concurrent planners fall back to queueing on the
-/// lock (batches are planned one at a time per server in every entry point).
+/// grouping map and the per-group rosters. A `BTreeMap` keyed by the `Ord`
+/// plan key, so that if grouping ever iterates the map, the order is a pure
+/// function of the keys — never of hasher state. Guarded by a mutex so
+/// `plan` keeps taking `&self`; concurrent planners fall back to queueing on
+/// the lock (batches are planned one at a time per server in every entry
+/// point).
 #[derive(Debug, Default)]
 struct PlanScratch {
-    group_of: HashMap<PlanKey, usize>,
+    group_of: BTreeMap<PlanKey, usize>,
     groups: Vec<Vec<usize>>,
 }
 
@@ -916,7 +919,7 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
 /// The planner's grouping key, one variant per sharing level. Strictly
 /// nested: equal `Exact` keys imply equal `Door` keys imply equal `Interval`
 /// keys, so each level's plan is a coarsening of the previous one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum PlanKey {
     /// [`BatchStrategy::Shared`]: identical source point and departure time.
     Exact(GroupKey),

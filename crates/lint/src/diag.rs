@@ -57,9 +57,64 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+impl Diagnostic {
+    /// Renders the diagnostic as a JSON object (one line, stable key
+    /// order) for `--emit json`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+            json_escape(self.rule),
+            self.severity,
+            json_escape(&self.path),
+            self.line,
+            self.col,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_rendering_escapes_and_keeps_key_order() {
+        let d = Diagnostic {
+            rule: "no-panic-in-lib",
+            severity: Severity::Error,
+            path: "crates/core/src/a.rs".into(),
+            line: 3,
+            col: 7,
+            message: "say \"no\" to\tpanics\n".into(),
+        };
+        assert_eq!(
+            d.to_json(),
+            "{\"rule\":\"no-panic-in-lib\",\"severity\":\"error\",\
+             \"path\":\"crates/core/src/a.rs\",\"line\":3,\"col\":7,\
+             \"message\":\"say \\\"no\\\" to\\tpanics\\n\"}"
+        );
+    }
 
     #[test]
     fn renders_like_a_compiler_diagnostic() {

@@ -1,17 +1,39 @@
-//! The driver: lint one source string, or walk the workspace.
+//! The driver: lint one source string, a set of in-memory files, or the
+//! whole workspace — with an optional incremental cache.
 //!
-//! [`lint_source`] is the pure core (fixtures and proptests call it
-//! directly); [`lint_workspace`] walks a directory tree, classifies each
-//! `.rs` file and aggregates a [`Report`].
+//! Linting is two-phase:
+//!
+//! 1. **analyze** ([`analyze_source`]) — per file, pure: lex, parse the
+//!    item tree, run every token-layer rule, collect allow directives and
+//!    extract the function facts the graph layer needs. The result
+//!    ([`FileAnalysis`]) depends only on the file's bytes, which is what
+//!    makes it cacheable by content hash.
+//! 2. **finish** ([`lint_files`] / [`lint_workspace`]) — once: aggregate
+//!    all facts into a [`Workspace`], run the graph-layer rules, then
+//!    suppress both layers' findings against the allows and flag the stale
+//!    ones. Suppression must come *after* the workspace pass — an allow for
+//!    a graph rule is only "used" once the graph has been consulted.
+//!
+//! The cache ([`lint_workspace_cached`]) keys each file by an FNV-1a hash
+//! of its contents and stores the full `FileAnalysis` — so a warm run
+//! re-lexes nothing and still replays the workspace pass exactly (facts
+//! from unchanged files are as good as fresh ones).
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::allow::{collect_allows, Allow, ALLOW_RULE};
 use crate::diag::{Diagnostic, Severity};
-use crate::rules::{all_rules, is_known_rule};
+use crate::graph::{extract_facts, FnFact, Workspace};
+use crate::parser::parse;
+use crate::rules::{all_rules, is_known_rule, workspace_rules};
 use crate::source::{classify, FileCtx, FileView};
+
+mod cache;
+
+pub use cache::CacheStats;
 
 /// Directory names never descended into. `fixtures` holds the linter's own
 /// known-bad corpus; `target` and `results` are build/bench artefacts;
@@ -24,6 +46,24 @@ const SKIP_DIRS: &[&str] = &[
     "results",
     "node_modules",
 ];
+
+/// Everything phase 1 learns about one file. Pure function of the file's
+/// bytes (plus its path classification), hence cacheable.
+#[derive(Debug, Clone)]
+pub struct FileAnalysis {
+    /// Classification of the file.
+    pub ctx: FileCtx,
+    /// FNV-1a hash of the source bytes.
+    pub hash: u64,
+    /// Raw token-layer findings, pre-suppression.
+    pub raw: Vec<Diagnostic>,
+    /// Well-formed allow directives.
+    pub allows: Vec<Allow>,
+    /// `allow-discipline` errors (malformed or unknown-rule directives).
+    pub allow_errors: Vec<Diagnostic>,
+    /// Function facts for the graph layer.
+    pub fns: Vec<FnFact>,
+}
 
 /// Outcome of linting one file.
 #[derive(Debug, Clone, Default)]
@@ -66,22 +106,32 @@ impl Report {
     }
 }
 
-/// Lints one source string under an explicit classification. This is the
-/// whole pipeline: lex, run every rule, parse allow directives, suppress,
-/// then report unknown/unused allows as `allow-discipline` errors.
+/// FNV-1a over the source bytes — the cache key.
 #[must_use]
-pub fn lint_source(ctx: &FileCtx, src: &str) -> FileOutcome {
+pub fn fnv1a(src: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in src.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Phase 1: analyzes one source string under an explicit classification.
+#[must_use]
+pub fn analyze_source(ctx: &FileCtx, src: &str) -> FileAnalysis {
     let view = FileView::new(ctx, src);
+    let tree = parse(&view);
     let mut raw: Vec<Diagnostic> = Vec::new();
     for rule in all_rules() {
-        rule.check(&view, &mut raw);
+        rule.check(&view, &tree, &mut raw);
     }
-    let (allows, mut diagnostics) = collect_allows(&view);
+    let (allows, mut allow_errors) = collect_allows(&view);
 
     // Unknown rule names are errors, and such allows never match anything.
     for a in &allows {
         if !is_known_rule(&a.rule) {
-            diagnostics.push(Diagnostic {
+            allow_errors.push(Diagnostic {
                 rule: ALLOW_RULE,
                 severity: Severity::Error,
                 path: ctx.path.clone(),
@@ -92,47 +142,117 @@ pub fn lint_source(ctx: &FileCtx, src: &str) -> FileOutcome {
         }
     }
 
-    let mut used = vec![false; allows.len()];
-    let mut suppressed = 0usize;
-    for d in raw {
-        let matched = allows
-            .iter()
-            .enumerate()
-            .find(|(_, a)| a.rule == d.rule && a.target_line == d.line);
-        match matched {
-            Some((i, _)) => {
-                used[i] = true;
-                suppressed += 1;
+    let fns = extract_facts(&view, &tree, &allows);
+    FileAnalysis {
+        ctx: ctx.clone(),
+        hash: fnv1a(src),
+        raw,
+        allows,
+        allow_errors,
+        fns,
+    }
+}
+
+/// Phase 2: aggregates analyses into a workspace, runs the graph rules,
+/// suppresses and reports. Also returns, per analysis, which of its allows
+/// fired (for the staleness audit).
+fn finish(analyses: &[FileAnalysis]) -> (Report, Vec<Vec<bool>>) {
+    let all_fns: Vec<FnFact> = analyses.iter().flat_map(|a| a.fns.clone()).collect();
+    let ws = Workspace::build(all_fns);
+    let mut ws_by_path: BTreeMap<&str, Vec<Diagnostic>> = BTreeMap::new();
+    for rule in workspace_rules() {
+        let mut out = Vec::new();
+        rule.check(&ws, &mut out);
+        for d in out {
+            ws_by_path
+                .entry(match analyses.iter().find(|a| a.ctx.path == d.path) {
+                    Some(a) => a.ctx.path.as_str(),
+                    None => continue,
+                })
+                .or_default()
+                .push(d);
+        }
+    }
+
+    let mut report = Report {
+        files: analyses.len(),
+        ..Report::default()
+    };
+    let mut used_per_file: Vec<Vec<bool>> = Vec::with_capacity(analyses.len());
+    for a in analyses {
+        let mut used = vec![false; a.allows.len()];
+        let mut diagnostics = a.allow_errors.clone();
+        let findings = a.raw.iter().chain(
+            ws_by_path
+                .get(a.ctx.path.as_str())
+                .map(Vec::as_slice)
+                .unwrap_or_default(),
+        );
+        for d in findings {
+            let matched = a
+                .allows
+                .iter()
+                .enumerate()
+                .find(|(_, al)| al.rule == d.rule && al.target_line == d.line);
+            match matched {
+                Some((i, _)) => {
+                    used[i] = true;
+                    report.suppressed += 1;
+                }
+                None => diagnostics.push(d.clone()),
             }
-            None => diagnostics.push(d),
         }
-    }
-
-    // A suppression that suppresses nothing is stale and must go.
-    for (a, used) in allows.iter().zip(&used) {
-        if !used && is_known_rule(&a.rule) {
-            diagnostics.push(Diagnostic {
-                rule: ALLOW_RULE,
-                severity: Severity::Error,
-                path: ctx.path.clone(),
-                line: a.comment_line,
-                col: a.col,
-                message: format!(
-                    "unused allow for `{}`: nothing on line {} triggers it — remove the stale \
-                     suppression",
-                    a.rule, a.target_line
-                ),
-            });
+        // A suppression that suppresses nothing is stale and must go.
+        for (al, &u) in a.allows.iter().zip(&used) {
+            if !u && is_known_rule(&al.rule) {
+                diagnostics.push(Diagnostic {
+                    rule: ALLOW_RULE,
+                    severity: Severity::Error,
+                    path: a.ctx.path.clone(),
+                    line: al.comment_line,
+                    col: al.col,
+                    message: format!(
+                        "unused allow for `{}`: nothing on line {} triggers it — remove the stale \
+                         suppression",
+                        al.rule, al.target_line
+                    ),
+                });
+            }
         }
+        report.allows_used += used.iter().filter(|&&u| u).count();
+        report.diagnostics.append(&mut diagnostics);
+        used_per_file.push(used);
     }
+    report
+        .diagnostics
+        .sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    (report, used_per_file)
+}
 
-    diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
-    let allows_used = used.iter().filter(|&&u| u).count();
+/// Lints one source string through the whole pipeline — both layers, with
+/// the workspace consisting of just this file. Fixtures and proptests call
+/// this directly.
+#[must_use]
+pub fn lint_source(ctx: &FileCtx, src: &str) -> FileOutcome {
+    let analysis = analyze_source(ctx, src);
+    let (report, _) = finish(std::slice::from_ref(&analysis));
     FileOutcome {
-        diagnostics,
-        suppressed,
-        allows_used,
+        diagnostics: report.diagnostics,
+        suppressed: report.suppressed,
+        allows_used: report.allows_used,
     }
+}
+
+/// Lints a set of in-memory files as one workspace — the multi-file fixture
+/// entry point: cross-file rules (lock cycles, transitive panics) see all
+/// of them at once.
+#[must_use]
+pub fn lint_files(files: &[(FileCtx, String)]) -> Report {
+    let analyses: Vec<FileAnalysis> = files
+        .iter()
+        .map(|(ctx, src)| analyze_source(ctx, src))
+        .collect();
+    finish(&analyses).0
 }
 
 /// Walks `root` and lints every `.rs` file outside the skipped directories
@@ -142,11 +262,27 @@ pub fn lint_source(ctx: &FileCtx, src: &str) -> FileOutcome {
 /// Propagates I/O errors from the directory walk; unreadable individual
 /// files are skipped (the build would have failed on them first).
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    lint_workspace_cached(root, None).map(|(r, _)| r)
+}
+
+/// [`lint_workspace`] with an incremental cache: analyses of files whose
+/// content hash matches the cache are reused without re-lexing; the cache
+/// file is rewritten after the run. A missing, stale-versioned or corrupt
+/// cache degrades to a cold run — never to an error.
+///
+/// # Errors
+/// Propagates I/O errors from the directory walk (not from the cache).
+pub fn lint_workspace_cached(
+    root: &Path,
+    cache_path: Option<&Path>,
+) -> io::Result<(Report, CacheStats)> {
     let mut files = Vec::new();
     walk(root, &mut files)?;
     files.sort();
 
-    let mut report = Report::default();
+    let cached = cache_path.map(cache::load).unwrap_or_default();
+    let mut stats = CacheStats::default();
+    let mut analyses = Vec::with_capacity(files.len());
     for path in files {
         let Ok(src) = fs::read_to_string(&path) else {
             continue;
@@ -156,44 +292,91 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let ctx = classify(&rel);
-        let outcome = lint_source(&ctx, &src);
-        report.files += 1;
-        report.suppressed += outcome.suppressed;
-        report.allows_used += outcome.allows_used;
-        report.diagnostics.extend(outcome.diagnostics);
+        let hash = fnv1a(&src);
+        if let Some(hit) = cached.get(&rel).filter(|c| c.hash == hash) {
+            stats.hits += 1;
+            analyses.push(hit.clone());
+        } else {
+            stats.misses += 1;
+            analyses.push(analyze_source(&classify(&rel), &src));
+        }
     }
-    Ok(report)
+    if let Some(p) = cache_path {
+        // Best-effort: an unwritable cache costs the next run its warmth,
+        // nothing else.
+        let _ = cache::store(p, &analyses);
+    }
+    Ok((finish(&analyses).0, stats))
+}
+
+/// One allow directive with its workspace location and whether it fired on
+/// the current sources — the staleness audit behind `--list-allows`.
+#[derive(Debug, Clone)]
+pub struct AllowAudit {
+    /// Workspace-relative path of the file carrying the directive.
+    pub path: String,
+    /// The directive.
+    pub allow: Allow,
+    /// Whether it suppressed at least one finding this run. A `false` here
+    /// is reported as stale even without `--deny`.
+    pub used: bool,
+}
+
+/// Audits every allow in a set of in-memory files: runs the full two-layer
+/// pipeline and marks each directive used or stale.
+#[must_use]
+pub fn audit_allows(files: &[(FileCtx, String)]) -> Vec<AllowAudit> {
+    let analyses: Vec<FileAnalysis> = files
+        .iter()
+        .map(|(ctx, src)| analyze_source(ctx, src))
+        .collect();
+    let (_, used) = finish(&analyses);
+    let mut out = Vec::new();
+    for (a, flags) in analyses.iter().zip(&used) {
+        for (al, &u) in a.allows.iter().zip(flags) {
+            out.push(AllowAudit {
+                path: a.ctx.path.clone(),
+                allow: al.clone(),
+                used: u,
+            });
+        }
+    }
+    out
+}
+
+/// [`audit_allows`] over the workspace on disk.
+///
+/// # Errors
+/// Propagates I/O errors from the directory walk.
+pub fn audit_workspace_allows(root: &Path) -> io::Result<Vec<AllowAudit>> {
+    let mut paths = Vec::new();
+    walk(root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::new();
+    for path in paths {
+        let Ok(src) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        files.push((classify(&rel), src));
+    }
+    Ok(audit_allows(&files))
 }
 
 /// Walks `root` and returns every well-formed allow directive as
-/// `(workspace-relative path, allow)` pairs, in file order. Backs the CLI's
-/// `--list-allows`: the living inventory of everywhere the workspace claims
-/// an invariant the linter cannot see.
+/// `(workspace-relative path, allow)` pairs, in file order.
 ///
 /// # Errors
 /// Propagates I/O errors from the directory walk.
 pub fn collect_workspace_allows(root: &Path) -> io::Result<Vec<(String, Allow)>> {
-    let mut files = Vec::new();
-    walk(root, &mut files)?;
-    files.sort();
-
-    let mut out = Vec::new();
-    for path in files {
-        let Ok(src) = fs::read_to_string(&path) else {
-            continue;
-        };
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let ctx = classify(&rel);
-        let view = FileView::new(&ctx, &src);
-        let (allows, _) = collect_allows(&view);
-        out.extend(allows.into_iter().map(|a| (rel.clone(), a)));
-    }
-    Ok(out)
+    Ok(audit_workspace_allows(root)?
+        .into_iter()
+        .map(|a| (a.path, a.allow))
+        .collect())
 }
 
 fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -267,5 +450,67 @@ mod tests {
         let mut sorted = lines.clone();
         sorted.sort_unstable();
         assert_eq!(lines, sorted);
+    }
+
+    #[test]
+    fn lint_files_sees_cross_file_lock_cycles() {
+        let files = vec![
+            (
+                classify("crates/core/src/a.rs"),
+                "fn ab(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); g.m(h); }\n"
+                    .to_string(),
+            ),
+            (
+                classify("crates/core/src/b.rs"),
+                "fn ba(&self) { let g = self.beta.lock(); let h = self.alpha.lock(); g.m(h); }\n"
+                    .to_string(),
+            ),
+        ];
+        let report = lint_files(&files);
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule == "lock-order"),
+            "{:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn workspace_rule_allow_is_used_not_stale() {
+        // An allow on a lock-order witness line must count as used — which
+        // requires suppression to run after the workspace pass.
+        let a = "\
+fn ab(&self) {\n\
+    let g = self.alpha.lock();\n\
+    let h = self.beta.lock(); // itspq-lint: allow(lock-order, \"a and b never race\")\n\
+    g.m(h);\n\
+}\n";
+        let b = "fn ba(&self) { let g = self.beta.lock(); let h = self.alpha.lock(); g.m(h); }\n";
+        let files = vec![
+            (classify("crates/core/src/a.rs"), a.to_string()),
+            (classify("crates/core/src/b.rs"), b.to_string()),
+        ];
+        let report = lint_files(&files);
+        // The cycle's one witness is suppressed; no stale-allow error.
+        assert!(
+            !report.diagnostics.iter().any(|d| d.rule == ALLOW_RULE),
+            "{:?}",
+            report.diagnostics
+        );
+        assert!(report.suppressed >= 1);
+        let audits = audit_allows(&files);
+        assert_eq!(audits.len(), 1);
+        assert!(audits[0].used);
+    }
+
+    #[test]
+    fn audit_reports_stale_allows_without_deny() {
+        let files = vec![(
+            classify("crates/core/src/a.rs"),
+            "// itspq-lint: allow(no-panic-in-lib, \"was needed once\")\nfn f() { clean(); }\n"
+                .to_string(),
+        )];
+        let audits = audit_allows(&files);
+        assert_eq!(audits.len(), 1);
+        assert!(!audits[0].used);
     }
 }

@@ -1,0 +1,429 @@
+//! The incremental cache: content-hashed [`FileAnalysis`] records in a
+//! version-stamped, line-based text file.
+//!
+//! Design constraints: no serde (the workspace vendors nothing), fully
+//! deterministic output (files in sorted order, so the cache file is
+//! byte-stable for an unchanged tree and diffs cleanly), and failure-proof
+//! loading — any header mismatch or malformed line throws the whole cache
+//! away and the run is merely cold.
+//!
+//! The header embeds the rule catalogue; adding, removing or renaming a
+//! rule invalidates every cache in the wild, which is exactly right —
+//! cached diagnostics name rules by `&'static str` identity restored via
+//! [`static_rule_name`].
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::allow::Allow;
+use crate::diag::{Diagnostic, Severity};
+use crate::graph::{CallFact, CalleeKind, FnFact, LockFact, PanicFact};
+use crate::rules::{all_rules, static_rule_name, workspace_rules};
+use crate::source::classify;
+
+use super::FileAnalysis;
+
+/// Hit/miss counters from a cached workspace run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Files whose analysis was reused from the cache.
+    pub hits: usize,
+    /// Files analyzed from scratch.
+    pub misses: usize,
+}
+
+/// The cache format header: version + rule catalogue fingerprint.
+fn header() -> String {
+    let mut names: Vec<&str> = all_rules().iter().map(|r| r.name()).collect();
+    names.extend(workspace_rules().iter().map(|r| r.name()));
+    format!("itspq-lint-cache v2 [{}]", names.join(","))
+}
+
+/// Loads the cache at `path`; a missing, unreadable, stale-versioned or
+/// malformed cache is an empty one.
+#[must_use]
+pub fn load(path: &Path) -> BTreeMap<String, FileAnalysis> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    parse_cache(&text).unwrap_or_default()
+}
+
+/// Writes all `analyses` to `path`, sorted by file path.
+///
+/// # Errors
+/// Propagates I/O errors; callers treat a failed write as a cold next run.
+pub fn store(path: &Path, analyses: &[FileAnalysis]) -> io::Result<()> {
+    let mut sorted: Vec<&FileAnalysis> = analyses.iter().collect();
+    sorted.sort_by(|a, b| a.ctx.path.cmp(&b.ctx.path));
+    let mut out = String::new();
+    out.push_str(&header());
+    out.push('\n');
+    for a in sorted {
+        render_file(&mut out, a);
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    fs::write(path, out)
+}
+
+fn render_file(out: &mut String, a: &FileAnalysis) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "F {}\t{:016x}", esc(&a.ctx.path), a.hash);
+    for d in &a.raw {
+        render_diag(out, 'R', d);
+    }
+    for d in &a.allow_errors {
+        render_diag(out, 'E', d);
+    }
+    for al in &a.allows {
+        let _ = writeln!(
+            out,
+            "A {}\t{}\t{}\t{}\t{}",
+            esc(&al.rule),
+            al.target_line,
+            al.comment_line,
+            al.col,
+            esc(&al.justification)
+        );
+    }
+    for f in &a.fns {
+        let _ = writeln!(
+            out,
+            "N {}\t{}\t{}\t{}\t{}\t{}\t{}",
+            esc(&f.simple),
+            esc(&f.qual),
+            f.owner.as_deref().map_or_else(|| "-".to_string(), esc),
+            f.line,
+            f.col,
+            flag(f.is_test),
+            flag(f.discipline)
+        );
+        for c in &f.calls {
+            let kind = match c.kind {
+                CalleeKind::Free => 'F',
+                CalleeKind::Method => 'M',
+                CalleeKind::SelfMethod => 'S',
+            };
+            let _ = writeln!(
+                out,
+                "C {kind}\t{}\t{}\t{}\t{}\t{}\t{}",
+                esc(&c.ty),
+                esc(&c.name),
+                c.line,
+                c.col,
+                flag(c.allowed_panic),
+                held(&c.held)
+            );
+        }
+        for l in &f.locks {
+            let _ = writeln!(
+                out,
+                "L {}\t{}\t{}\t{}",
+                esc(&l.class),
+                l.line,
+                l.col,
+                held(&l.held)
+            );
+        }
+        for p in &f.panics {
+            let _ = writeln!(out, "P {}\t{}\t{}", esc(&p.what), p.line, p.col);
+        }
+    }
+}
+
+fn render_diag(out: &mut String, tag: char, d: &Diagnostic) {
+    use std::fmt::Write as _;
+    let sev = match d.severity {
+        Severity::Warning => 'w',
+        Severity::Error => 'e',
+    };
+    let _ = writeln!(
+        out,
+        "{tag} {}\t{sev}\t{}\t{}\t{}",
+        esc(d.rule),
+        d.line,
+        d.col,
+        esc(&d.message)
+    );
+}
+
+fn flag(b: bool) -> char {
+    if b {
+        't'
+    } else {
+        'f'
+    }
+}
+
+fn held(classes: &[String]) -> String {
+    if classes.is_empty() {
+        "-".to_string()
+    } else {
+        classes.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+    }
+}
+
+fn parse_held(s: &str) -> Vec<String> {
+    if s == "-" {
+        Vec::new()
+    } else {
+        s.split(',').map(unesc).collect()
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\t', "\\t")
+        .replace('\n', "\\n")
+        .replace(',', "\\c")
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('c') => out.push(','),
+            Some('\\') => out.push('\\'),
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Parses a whole cache file; `None` on any irregularity.
+fn parse_cache(text: &str) -> Option<BTreeMap<String, FileAnalysis>> {
+    let mut lines = text.lines();
+    if lines.next()? != header() {
+        return None;
+    }
+    let mut out = BTreeMap::new();
+    let mut cur: Option<FileAnalysis> = None;
+    for line in lines {
+        let (tag, rest) = line.split_once(' ')?;
+        match tag {
+            "F" => {
+                if let Some(done) = cur.take() {
+                    out.insert(done.ctx.path.clone(), done);
+                }
+                let (path, hash) = split2(rest)?;
+                let path = unesc(path);
+                cur = Some(FileAnalysis {
+                    ctx: classify(&path),
+                    hash: u64::from_str_radix(hash, 16).ok()?,
+                    raw: Vec::new(),
+                    allows: Vec::new(),
+                    allow_errors: Vec::new(),
+                    fns: Vec::new(),
+                });
+            }
+            "R" | "E" => {
+                let a = cur.as_mut()?;
+                let d = parse_diag(rest, &a.ctx.path)?;
+                if tag == "R" {
+                    a.raw.push(d);
+                } else {
+                    a.allow_errors.push(d);
+                }
+            }
+            "A" => {
+                let a = cur.as_mut()?;
+                let f: Vec<&str> = rest.split('\t').collect();
+                if f.len() != 5 {
+                    return None;
+                }
+                a.allows.push(Allow {
+                    rule: unesc(f[0]),
+                    target_line: f[1].parse().ok()?,
+                    comment_line: f[2].parse().ok()?,
+                    col: f[3].parse().ok()?,
+                    justification: unesc(f[4]),
+                });
+            }
+            "N" => {
+                let a = cur.as_mut()?;
+                let f: Vec<&str> = rest.split('\t').collect();
+                if f.len() != 7 {
+                    return None;
+                }
+                let (path, krate) = (a.ctx.path.clone(), a.ctx.crate_name.clone());
+                a.fns.push(FnFact {
+                    path,
+                    crate_name: krate,
+                    simple: unesc(f[0]),
+                    qual: unesc(f[1]),
+                    owner: (f[2] != "-").then(|| unesc(f[2])),
+                    line: f[3].parse().ok()?,
+                    col: f[4].parse().ok()?,
+                    is_test: f[5] == "t",
+                    discipline: f[6] == "t",
+                    calls: Vec::new(),
+                    locks: Vec::new(),
+                    panics: Vec::new(),
+                });
+            }
+            "C" => {
+                let f: Vec<&str> = rest.split('\t').collect();
+                if f.len() != 7 {
+                    return None;
+                }
+                let kind = match f[0] {
+                    "F" => CalleeKind::Free,
+                    "M" => CalleeKind::Method,
+                    "S" => CalleeKind::SelfMethod,
+                    _ => return None,
+                };
+                cur.as_mut()?.fns.last_mut()?.calls.push(CallFact {
+                    kind,
+                    ty: unesc(f[1]),
+                    name: unesc(f[2]),
+                    line: f[3].parse().ok()?,
+                    col: f[4].parse().ok()?,
+                    allowed_panic: f[5] == "t",
+                    held: parse_held(f[6]),
+                });
+            }
+            "L" => {
+                let f: Vec<&str> = rest.split('\t').collect();
+                if f.len() != 4 {
+                    return None;
+                }
+                cur.as_mut()?.fns.last_mut()?.locks.push(LockFact {
+                    class: unesc(f[0]),
+                    line: f[1].parse().ok()?,
+                    col: f[2].parse().ok()?,
+                    held: parse_held(f[3]),
+                });
+            }
+            "P" => {
+                let f: Vec<&str> = rest.split('\t').collect();
+                if f.len() != 3 {
+                    return None;
+                }
+                cur.as_mut()?.fns.last_mut()?.panics.push(PanicFact {
+                    what: unesc(f[0]),
+                    line: f[1].parse().ok()?,
+                    col: f[2].parse().ok()?,
+                });
+            }
+            _ => return None,
+        }
+    }
+    if let Some(done) = cur.take() {
+        out.insert(done.ctx.path.clone(), done);
+    }
+    Some(out)
+}
+
+fn parse_diag(rest: &str, path: &str) -> Option<Diagnostic> {
+    let f: Vec<&str> = rest.split('\t').collect();
+    if f.len() != 5 {
+        return None;
+    }
+    Some(Diagnostic {
+        rule: static_rule_name(&unesc(f[0]))?,
+        severity: match f[1] {
+            "w" => Severity::Warning,
+            "e" => Severity::Error,
+            _ => return None,
+        },
+        path: path.to_string(),
+        line: f[2].parse().ok()?,
+        col: f[3].parse().ok()?,
+        message: unesc(f[4]),
+    })
+}
+
+fn split2(s: &str) -> Option<(&str, &str)> {
+    s.split_once('\t')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze_source;
+
+    fn sample_analyses() -> Vec<FileAnalysis> {
+        let files = [
+            (
+                "crates/core/src/a.rs",
+                "fn f(&self) {\n    let g = self.alpha.lock();\n    helper(g.k()); // itspq-lint: allow(panic-reachability, \"k is finite\")\n}\n",
+            ),
+            (
+                "crates/lint/src/main.rs",
+                "fn helper(k: u32) { k.to_string().parse::<u8>().unwrap(); }\nfn main() { panic!(\"tab\\there\"); }\n",
+            ),
+        ];
+        files
+            .iter()
+            .map(|(p, s)| analyze_source(&classify(p), s))
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let analyses = sample_analyses();
+        let dir = std::env::temp_dir().join("itspq-lint-cache-test-rt");
+        let path = dir.join("cache.txt");
+        store(&path, &analyses).unwrap();
+        let loaded = load(&path);
+        assert_eq!(loaded.len(), analyses.len());
+        for a in &analyses {
+            let b = &loaded[&a.ctx.path];
+            assert_eq!(a.hash, b.hash);
+            assert_eq!(a.raw, b.raw, "{}", a.ctx.path);
+            assert_eq!(a.allow_errors, b.allow_errors);
+            assert_eq!(a.allows, b.allows);
+            assert_eq!(a.fns.len(), b.fns.len());
+            for (x, y) in a.fns.iter().zip(&b.fns) {
+                assert_eq!(x.qual, y.qual);
+                assert_eq!(x.discipline, y.discipline);
+                assert_eq!(x.calls.len(), y.calls.len());
+                for (cx, cy) in x.calls.iter().zip(&y.calls) {
+                    assert_eq!(cx.kind, cy.kind);
+                    assert_eq!(cx.name, cy.name);
+                    assert_eq!(cx.held, cy.held);
+                    assert_eq!(cx.allowed_panic, cy.allowed_panic);
+                }
+                assert_eq!(
+                    x.locks.iter().map(|l| &l.class).collect::<Vec<_>>(),
+                    y.locks.iter().map(|l| &l.class).collect::<Vec<_>>()
+                );
+                assert_eq!(
+                    x.panics.iter().map(|p| &p.what).collect::<Vec<_>>(),
+                    y.panics.iter().map(|p| &p.what).collect::<Vec<_>>()
+                );
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_header_or_garbage_degrades_to_empty() {
+        assert!(parse_cache("itspq-lint-cache v1 [old]\nF x\t0\n").is_none());
+        assert!(parse_cache(&format!("{}\nZ bogus line\n", header())).is_none());
+        assert!(parse_cache(&format!("{}\nC F\ta\tb\t1\t1\tf\t-\n", header())).is_none());
+        // An empty-but-valid cache is fine.
+        assert_eq!(parse_cache(&format!("{}\n", header())).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn escaping_survives_tabs_newlines_commas_and_backslashes() {
+        for s in ["a\tb", "a\nb", "a,b", "a\\b", "a\\tb", "", "plain"] {
+            assert_eq!(unesc(&esc(s)), s, "{s:?}");
+        }
+    }
+}

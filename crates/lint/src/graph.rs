@@ -1,0 +1,1028 @@
+//! The workspace symbol table, approximate call graph and lock-acquisition
+//! graph.
+//!
+//! [`extract_facts`] distils each library/binary file into [`FnFact`]s — per
+//! function: the calls it makes, the locks it takes (and which were already
+//! held at each site), and its unallowed panic sites. [`Workspace`]
+//! aggregates the facts of every file, resolves calls against the symbol
+//! table and answers the two interprocedural questions the graph rules ask:
+//! *which functions can transitively panic* and *which lock can be waited on
+//! while which other is held*.
+//!
+//! ## Resolution model (approximate, conservative by construction)
+//!
+//! Calls resolve **within the defining crate** only, by name:
+//!
+//! * `foo(..)` → every free `fn foo` in the crate (snake_case only —
+//!   uppercase initials are tuple-struct/variant constructors, not calls);
+//! * `Type::foo(..)` → `fn foo` in any `impl Type`/`trait Type` block;
+//! * `path::foo(..)` with a lowercase qualifier → free `fn foo` (module
+//!   qualifier, approximated away);
+//! * `self.foo(..)` → `fn foo` in any impl of the enclosing type;
+//! * `expr.foo(..)` on anything else does **not** resolve — the receiver's
+//!   type is unknown to a parser. Lock methods are the exception: they are
+//!   tracked by receiver *field chain*, which is exactly the identity that
+//!   matters for lock ordering.
+//!
+//! Ambiguity resolves to *all* candidates, so reachability over-approximates
+//! (a finding can be silenced with a justified allow, a missed deadlock
+//! cannot be un-shipped). Test files, examples, benches, vendored stubs and
+//! `#[cfg(test)]` items contribute no facts at all.
+//!
+//! ## Lock classes
+//!
+//! A lock acquisition (`.lock()`, `.read()`, `.write()`, `try_` variants,
+//! `OnceLock::get_or_init`) is keyed by `crate::receiver-chain` — e.g.
+//! `core::scratch.plan` for `self.scratch.plan.lock()`. Guard lifetimes
+//! follow the workspace idiom: a `let`-bound guard lives to the end of its
+//! block, a temporary to the end of its statement, a `get_or_init` hold to
+//! the end of its argument list; `drop(guard)` releases a `let` guard early.
+
+use std::collections::BTreeMap;
+
+use crate::allow::Allow;
+use crate::lexer::TokenKind;
+use crate::parser::ItemTree;
+use crate::source::{FileKind, FileView};
+
+/// Methods whose call acquires a lock guard on their receiver.
+pub const GUARD_METHODS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// Methods that hold a `OnceLock`/`Lazy`-style slot for the duration of
+/// their closure argument.
+pub const SLOT_METHODS: &[&str] = &["get_or_init", "get_or_try_init"];
+
+/// The diverging macros counted as panic sites.
+pub const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// The panicking methods counted as panic sites.
+pub const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalleeKind {
+    /// `foo(..)` or `module::foo(..)`.
+    Free,
+    /// `Type::foo(..)`.
+    Method,
+    /// `self.foo(..)` — resolved against the enclosing impl type.
+    SelfMethod,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallFact {
+    /// How the callee is named.
+    pub kind: CalleeKind,
+    /// The type qualifier for [`CalleeKind::Method`] (`""` otherwise).
+    pub ty: String,
+    /// The callee's simple name.
+    pub name: String,
+    /// 1-based line of the call.
+    pub line: u32,
+    /// 1-based column of the call.
+    pub col: u32,
+    /// Lock classes held when the call is made.
+    pub held: Vec<String>,
+    /// Whether the line carries an `allow(panic-reachability, ..)` — such a
+    /// call is reported (so the allow is exercised) but does not propagate
+    /// panickiness to its caller.
+    pub allowed_panic: bool,
+}
+
+/// One lock acquisition inside a function body.
+#[derive(Debug, Clone)]
+pub struct LockFact {
+    /// The crate-qualified lock class (`core::cache`).
+    pub class: String,
+    /// 1-based line of the acquisition.
+    pub line: u32,
+    /// 1-based column of the acquisition.
+    pub col: u32,
+    /// Lock classes already held when this one is acquired.
+    pub held: Vec<String>,
+}
+
+/// One unallowed panic site inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicFact {
+    /// What panics (`unwrap`, `expect`, `panic!`, …).
+    pub what: String,
+    /// 1-based line of the site.
+    pub line: u32,
+    /// 1-based column of the site.
+    pub col: u32,
+}
+
+/// Everything the graph rules need to know about one function.
+#[derive(Debug, Clone)]
+pub struct FnFact {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// The defining crate.
+    pub crate_name: String,
+    /// File-local qualified name (`module::Type::method`).
+    pub qual: String,
+    /// Simple name.
+    pub simple: String,
+    /// Enclosing impl/trait type, if any.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Whether the function is `#[cfg(test)]`-gated.
+    pub is_test: bool,
+    /// Whether `no-panic-in-lib` applies to this function (library code of a
+    /// disciplined crate, outside test regions) — such functions are held to
+    /// panic-reachability and are never panic *sources* themselves (their
+    /// direct sites are already reported or allowed).
+    pub discipline: bool,
+    /// Call sites, in source order.
+    pub calls: Vec<CallFact>,
+    /// Lock acquisitions, in source order.
+    pub locks: Vec<LockFact>,
+    /// Unallowed panic sites, in source order.
+    pub panics: Vec<PanicFact>,
+}
+
+/// Extracts [`FnFact`]s from one parsed file. Only library and binary files
+/// outside `crates/vendor` contribute; `#[cfg(test)]` functions are carried
+/// (marked) but never act as panic sources or reachability roots.
+#[must_use]
+pub fn extract_facts(view: &FileView<'_>, tree: &ItemTree, allows: &[Allow]) -> Vec<FnFact> {
+    if !matches!(view.ctx.kind, FileKind::Lib | FileKind::Bin) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for item in tree.fns() {
+        let Some((body_open, body_end)) = item.body else {
+            continue;
+        };
+        let mut fact = FnFact {
+            path: view.ctx.path.clone(),
+            crate_name: view.ctx.crate_name.clone(),
+            qual: item.qual_name(),
+            simple: item.name.clone(),
+            owner: item.owner.clone(),
+            line: item.line,
+            col: item.col,
+            is_test: item.cfg_test,
+            discipline: view.ctx.lib_discipline() && !item.cfg_test,
+            calls: Vec::new(),
+            locks: Vec::new(),
+            panics: Vec::new(),
+        };
+        scan_body(view, body_open, body_end, allows, &mut fact);
+        out.push(fact);
+    }
+    out
+}
+
+/// A live lock guard during the body scan.
+struct Guard {
+    class: String,
+    /// `let`-bound binding name, for `drop(name)` release.
+    binding: Option<String>,
+    /// Lifetime: block depth for `let` guards, statement depth for
+    /// temporaries, code-index end for slot holds.
+    dies: GuardLife,
+}
+
+enum GuardLife {
+    /// Dies when the bracket depth drops below this.
+    Block(i64),
+    /// Dies at the next `;` at or below this depth.
+    Stmt(i64),
+    /// Dies at this code index (end of a `get_or_init` argument list).
+    At(usize),
+}
+
+/// Walks one function body, maintaining the set of live guards and
+/// recording call, lock and panic facts.
+#[allow(clippy::too_many_lines)]
+fn scan_body(
+    view: &FileView<'_>,
+    body_open: usize,
+    body_end: usize,
+    allows: &[Allow],
+    fact: &mut FnFact,
+) {
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0i64;
+    // Whether the current statement opened with `let`, and its binding.
+    let mut stmt_is_let = false;
+    let mut let_binding: Option<String> = None;
+    let mut stmt_fresh = true; // next token starts a statement
+
+    let mut i = body_open + 1;
+    while i + 1 < body_end.max(1) && i < view.code_len() {
+        let text = view.ctext(i);
+        guards.retain(|g| !matches!(g.dies, GuardLife::At(end) if i >= end));
+
+        match text {
+            "{" | "(" | "[" => {
+                depth += 1;
+                stmt_fresh = text == "{";
+            }
+            "}" | ")" | "]" => {
+                depth -= 1;
+                guards.retain(|g| match g.dies {
+                    GuardLife::Block(d) | GuardLife::Stmt(d) => d <= depth,
+                    GuardLife::At(_) => true,
+                });
+                stmt_fresh = text == "}";
+            }
+            ";" => {
+                guards.retain(|g| !matches!(g.dies, GuardLife::Stmt(d) if d >= depth));
+                stmt_is_let = false;
+                let_binding = None;
+                stmt_fresh = true;
+            }
+            "let" if stmt_fresh => {
+                stmt_is_let = true;
+                let_binding = first_ident_after(view, i + 1, body_end);
+                stmt_fresh = false;
+            }
+            "drop" if view.ctext(i + 1) == "(" => {
+                // `drop(guard)` releases a let-bound guard early.
+                if view.ckind(i + 2) == Some(TokenKind::Ident) && view.ctext(i + 3) == ")" {
+                    let name = view.ctext(i + 2);
+                    guards.retain(|g| g.binding.as_deref() != Some(name));
+                }
+                stmt_fresh = false;
+            }
+            _ => {
+                scan_token(
+                    view,
+                    i,
+                    body_end,
+                    depth,
+                    allows,
+                    fact,
+                    &mut guards,
+                    stmt_is_let,
+                    &let_binding,
+                );
+                stmt_fresh = false;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Handles one non-structural token: lock acquisitions, calls, panic sites.
+#[allow(clippy::too_many_arguments)]
+fn scan_token(
+    view: &FileView<'_>,
+    i: usize,
+    body_end: usize,
+    depth: i64,
+    allows: &[Allow],
+    fact: &mut FnFact,
+    guards: &mut Vec<Guard>,
+    stmt_is_let: bool,
+    let_binding: &Option<String>,
+) {
+    let text = view.ctext(i);
+    if view.ckind(i) != Some(TokenKind::Ident)
+        || view.ctext(i + 1) != "(" && view.ctext(i + 1) != "!"
+    {
+        return;
+    }
+    let Some(tok) = view.ct(i) else { return };
+    let held: Vec<String> = {
+        let mut h: Vec<String> = guards.iter().map(|g| g.class.clone()).collect();
+        h.dedup();
+        h
+    };
+
+    // Panic macros: `panic!(…)`, `unreachable!(…)`, …
+    if view.ctext(i + 1) == "!" {
+        if PANIC_MACROS.contains(&text) && !panic_allowed(allows, tok.line) {
+            fact.panics.push(PanicFact {
+                what: format!("{text}!"),
+                line: tok.line,
+                col: tok.col,
+            });
+        }
+        return;
+    }
+
+    let after_dot = view.ctext(i.wrapping_sub(1)) == "." && i > 0;
+
+    // Lock and slot acquisitions.
+    if after_dot && (GUARD_METHODS.contains(&text) || SLOT_METHODS.contains(&text)) {
+        let class = format!(
+            "{}::{}",
+            fact.crate_name,
+            receiver_chain(view, i.saturating_sub(1))
+        );
+        fact.locks.push(LockFact {
+            class: class.clone(),
+            line: tok.line,
+            col: tok.col,
+            held: held.clone(),
+        });
+        let after_args = view.skip_balanced(i + 1).min(body_end);
+        let dies = if SLOT_METHODS.contains(&text) {
+            GuardLife::At(after_args)
+        } else if stmt_is_let && view.ctext(after_args) == ";" {
+            GuardLife::Block(depth)
+        } else {
+            GuardLife::Stmt(depth)
+        };
+        guards.push(Guard {
+            class,
+            binding: if matches!(dies, GuardLife::Block(_)) {
+                let_binding.clone()
+            } else {
+                None
+            },
+            dies,
+        });
+        return;
+    }
+
+    // Panic methods: `.unwrap()`, `.expect(…)`.
+    if after_dot && PANIC_METHODS.contains(&text) {
+        if !panic_allowed(allows, tok.line) {
+            fact.panics.push(PanicFact {
+                what: text.to_string(),
+                line: tok.line,
+                col: tok.col,
+            });
+        }
+        return;
+    }
+
+    // Call sites.
+    let allowed_panic = allows
+        .iter()
+        .any(|a| a.rule == "panic-reachability" && a.target_line == tok.line);
+    let call = if after_dot {
+        // Method call: resolve only `self.foo(..)`.
+        if view.ctext(i.wrapping_sub(2)) == "self" && i >= 2 {
+            Some(CallFact {
+                kind: CalleeKind::SelfMethod,
+                ty: String::new(),
+                name: text.to_string(),
+                line: tok.line,
+                col: tok.col,
+                held,
+                allowed_panic,
+            })
+        } else {
+            None
+        }
+    } else if view.ctext(i.wrapping_sub(1)) == "::" && i > 0 {
+        // Path call: `Type::foo(..)` or `module::foo(..)`.
+        let quald = view.ctext(i.wrapping_sub(2));
+        if i >= 2 && view.ckind(i - 2) == Some(TokenKind::Ident) && !starts_upper(text) {
+            if starts_upper(quald) {
+                Some(CallFact {
+                    kind: CalleeKind::Method,
+                    ty: quald.to_string(),
+                    name: text.to_string(),
+                    line: tok.line,
+                    col: tok.col,
+                    held,
+                    allowed_panic,
+                })
+            } else {
+                Some(CallFact {
+                    kind: CalleeKind::Free,
+                    ty: String::new(),
+                    name: text.to_string(),
+                    line: tok.line,
+                    col: tok.col,
+                    held,
+                    allowed_panic,
+                })
+            }
+        } else {
+            None
+        }
+    } else if !starts_upper(text) && !is_expr_keyword(text) {
+        Some(CallFact {
+            kind: CalleeKind::Free,
+            ty: String::new(),
+            name: text.to_string(),
+            line: tok.line,
+            col: tok.col,
+            held,
+            allowed_panic,
+        })
+    } else {
+        None
+    };
+    if let Some(c) = call {
+        fact.calls.push(c);
+    }
+}
+
+fn panic_allowed(allows: &[Allow], line: u32) -> bool {
+    allows
+        .iter()
+        .any(|a| a.rule == "no-panic-in-lib" && a.target_line == line)
+}
+
+fn starts_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(char::is_uppercase)
+}
+
+fn is_expr_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "in"
+            | "as"
+            | "move"
+            | "else"
+            | "let"
+            | "fn"
+            | "pub"
+            | "mut"
+            | "ref"
+            | "break"
+            | "continue"
+            | "await"
+            | "dyn"
+            | "where"
+            | "impl"
+            | "use"
+            | "self"
+            | "super"
+            | "crate"
+            | "assert"
+            | "assert_eq"
+            | "assert_ne"
+            | "debug_assert"
+            | "debug_assert_eq"
+            | "debug_assert_ne"
+            | "drop"
+    )
+}
+
+/// The first plain identifier after `from` (skipping `mut`, `(`, `&`) — the
+/// best-effort binding name of a `let` pattern.
+fn first_ident_after(view: &FileView<'_>, from: usize, to: usize) -> Option<String> {
+    let mut i = from;
+    while i < to {
+        match view.ctext(i) {
+            "mut" | "(" | "&" | "ref" => i += 1,
+            t if view.ckind(i) == Some(TokenKind::Ident) => return Some(t.to_string()),
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Walks the dotted receiver chain backwards from `dot_idx` (the `.` before
+/// a method name) and renders it, `self` elided: `self.scratch.plan.lock()`
+/// → `scratch.plan`; `foo().lock()` → `foo`.
+fn receiver_chain(view: &FileView<'_>, dot_idx: usize) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut j = dot_idx; // index of a '.' token
+    while let Some(prev) = j.checked_sub(1) {
+        if view.ckind(prev) == Some(TokenKind::Ident) {
+            let t = view.ctext(prev);
+            if t == "self" {
+                break;
+            }
+            parts.push(t.to_string());
+            if prev >= 1 && view.ctext(prev - 1) == "." {
+                j = prev - 1;
+                continue;
+            }
+            break;
+        }
+        if view.ctext(prev) == ")" {
+            let Some(open) = backward_match(view, prev) else {
+                break;
+            };
+            if open >= 1 && view.ckind(open - 1) == Some(TokenKind::Ident) {
+                parts.push(view.ctext(open - 1).to_string());
+                if open >= 2 && view.ctext(open - 2) == "." {
+                    j = open - 2;
+                    continue;
+                }
+            }
+            break;
+        }
+        break;
+    }
+    if parts.is_empty() {
+        "?".to_string()
+    } else {
+        parts.reverse();
+        parts.join(".")
+    }
+}
+
+/// Code index of the `(` matching the `)` at `close`, scanning backwards.
+fn backward_match(view: &FileView<'_>, close: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut j = close;
+    loop {
+        match view.ctext(j) {
+            ")" => depth += 1,
+            "(" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+        j = j.checked_sub(1)?;
+    }
+}
+
+/// One edge of the workspace lock graph: `to` can be waited on while `from`
+/// is held, witnessed at `path:line:col` inside `via_fn`.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// The held lock class.
+    pub from: String,
+    /// The acquired (or transitively acquirable) lock class.
+    pub to: String,
+    /// Witness file.
+    pub path: String,
+    /// Witness line.
+    pub line: u32,
+    /// Witness column.
+    pub col: u32,
+    /// The function containing the witness site.
+    pub via_fn: String,
+    /// A note on how the edge arises (direct nesting or via a call chain).
+    pub how: String,
+}
+
+/// The aggregated workspace: every function fact plus the symbol table the
+/// resolver uses.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// All function facts, in deterministic (file, source) order.
+    pub fns: Vec<FnFact>,
+    free: BTreeMap<(String, String), Vec<usize>>,
+    methods: BTreeMap<(String, String, String), Vec<usize>>,
+}
+
+impl Workspace {
+    /// Builds the symbol table over `fns` (which must already be in
+    /// deterministic order — the engine sorts files by path).
+    #[must_use]
+    pub fn build(fns: Vec<FnFact>) -> Self {
+        let mut ws = Workspace {
+            fns,
+            free: BTreeMap::new(),
+            methods: BTreeMap::new(),
+        };
+        for (i, f) in ws.fns.iter().enumerate() {
+            match &f.owner {
+                Some(ty) => ws
+                    .methods
+                    .entry((f.crate_name.clone(), ty.clone(), f.simple.clone()))
+                    .or_default()
+                    .push(i),
+                None => ws
+                    .free
+                    .entry((f.crate_name.clone(), f.simple.clone()))
+                    .or_default()
+                    .push(i),
+            }
+        }
+        ws
+    }
+
+    /// Resolves a call made from `caller` to the indices of every candidate
+    /// callee (same crate, by name; empty when unresolvable — std, vendor,
+    /// field-typed method receivers).
+    #[must_use]
+    pub fn resolve(&self, caller: usize, call: &CallFact) -> &[usize] {
+        let krate = &self.fns[caller].crate_name;
+        static EMPTY: [usize; 0] = [];
+        let found = match call.kind {
+            CalleeKind::Free => self.free.get(&(krate.clone(), call.name.clone())),
+            CalleeKind::Method => {
+                self.methods
+                    .get(&(krate.clone(), call.ty.clone(), call.name.clone()))
+            }
+            CalleeKind::SelfMethod => match &self.fns[caller].owner {
+                Some(ty) => self
+                    .methods
+                    .get(&(krate.clone(), ty.clone(), call.name.clone())),
+                None => None,
+            },
+        };
+        found.map_or(&EMPTY[..], Vec::as_slice)
+    }
+
+    /// For every function: can it (transitively, through resolved calls
+    /// whose edges are not `panic-reachability`-allowed) reach an unallowed
+    /// panic site *outside* `no-panic-in-lib` scope? Functions inside that
+    /// scope are never sources — their direct sites are already reported or
+    /// locally proven — so this is exactly the interprocedural lift.
+    #[must_use]
+    pub fn can_panic(&self) -> Vec<bool> {
+        let mut can: Vec<bool> = self
+            .fns
+            .iter()
+            .map(|f| !f.discipline && !f.is_test && !f.panics.is_empty())
+            .collect();
+        // Fixpoint: tiny graphs, a few rounds in practice.
+        loop {
+            let mut changed = false;
+            for i in 0..self.fns.len() {
+                if can[i] {
+                    continue;
+                }
+                let reaches = self.fns[i]
+                    .calls
+                    .iter()
+                    .filter(|c| !c.allowed_panic)
+                    .any(|c| self.resolve(i, c).iter().any(|&j| can[j]));
+                if reaches {
+                    can[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return can;
+            }
+        }
+    }
+
+    /// A witness chain from `start` to a panic site: function indices ending
+    /// at one with a direct panic, following non-allowed resolved calls.
+    /// `None` when `start` cannot panic (or only via allowed edges).
+    #[must_use]
+    pub fn panic_witness(&self, start: usize, can: &[bool]) -> Option<Vec<usize>> {
+        let mut prev: Vec<Option<usize>> = vec![None; self.fns.len()];
+        let mut seen = vec![false; self.fns.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[start] = true;
+        queue.push_back(start);
+        while let Some(i) = queue.pop_front() {
+            if !self.fns[i].discipline && !self.fns[i].is_test && !self.fns[i].panics.is_empty() {
+                let mut path = vec![i];
+                let mut cur = i;
+                while let Some(p) = prev[cur] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for c in &self.fns[i].calls {
+                if c.allowed_panic {
+                    continue;
+                }
+                for &j in self.resolve(i, c) {
+                    if !seen[j] && can[j] {
+                        seen[j] = true;
+                        prev[j] = Some(i);
+                        queue.push_back(j);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The lock classes each function may acquire, transitively through
+    /// resolved calls.
+    #[must_use]
+    pub fn transitive_locks(&self) -> Vec<Vec<String>> {
+        let mut acq: Vec<Vec<String>> = self
+            .fns
+            .iter()
+            .map(|f| {
+                let mut v: Vec<String> = f.locks.iter().map(|l| l.class.clone()).collect();
+                v.sort();
+                v.dedup();
+                v
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..self.fns.len() {
+                let mut add: Vec<String> = Vec::new();
+                for c in &self.fns[i].calls {
+                    for &j in self.resolve(i, c) {
+                        if j == i {
+                            continue;
+                        }
+                        for cls in &acq[j] {
+                            if !acq[i].contains(cls) && !add.contains(cls) {
+                                add.push(cls.clone());
+                            }
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    acq[i].extend(add);
+                    acq[i].sort();
+                    acq[i].dedup();
+                    changed = true;
+                }
+            }
+            if !changed {
+                return acq;
+            }
+        }
+    }
+
+    /// Every edge of the workspace lock graph, deduplicated by
+    /// `(from, to)` with the first witness (in file/source order) kept:
+    ///
+    /// * direct: a lock acquired while another is held;
+    /// * interprocedural: a call made while a lock is held, to a function
+    ///   that (transitively) acquires another lock.
+    #[must_use]
+    pub fn lock_edges(&self) -> Vec<LockEdge> {
+        let acq = self.transitive_locks();
+        let mut seen: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut edges: Vec<LockEdge> = Vec::new();
+        let push = |edges: &mut Vec<LockEdge>,
+                    seen: &mut BTreeMap<(String, String), usize>,
+                    e: LockEdge| {
+            let key = (e.from.clone(), e.to.clone());
+            if let std::collections::btree_map::Entry::Vacant(slot) = seen.entry(key) {
+                slot.insert(edges.len());
+                edges.push(e);
+            }
+        };
+        for (i, f) in self.fns.iter().enumerate() {
+            for l in &f.locks {
+                for h in &l.held {
+                    push(
+                        &mut edges,
+                        &mut seen,
+                        LockEdge {
+                            from: h.clone(),
+                            to: l.class.clone(),
+                            path: f.path.clone(),
+                            line: l.line,
+                            col: l.col,
+                            via_fn: f.qual.clone(),
+                            how: format!("`{}` acquired while `{h}` is held", l.class),
+                        },
+                    );
+                }
+            }
+            for c in &f.calls {
+                if c.held.is_empty() {
+                    continue;
+                }
+                for &j in self.resolve(i, c) {
+                    for cls in &acq[j] {
+                        for h in &c.held {
+                            if h == cls {
+                                continue; // same class via call: re-entrancy,
+                                          // reported as a self-edge only when
+                                          // direct (too noisy otherwise)
+                            }
+                            push(
+                                &mut edges,
+                                &mut seen,
+                                LockEdge {
+                                    from: h.clone(),
+                                    to: cls.clone(),
+                                    path: f.path.clone(),
+                                    line: c.line,
+                                    col: c.col,
+                                    via_fn: f.qual.clone(),
+                                    how: format!(
+                                        "call to `{}` (which may acquire `{cls}`) while `{h}` is held",
+                                        c.name
+                                    ),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::source::classify;
+
+    fn facts_of(path: &str, src: &str) -> Vec<FnFact> {
+        let ctx = classify(path);
+        let view = FileView::new(&ctx, src);
+        let tree = parse(&view);
+        let (allows, _) = crate::allow::collect_allows(&view);
+        extract_facts(&view, &tree, &allows)
+    }
+
+    #[test]
+    fn records_calls_locks_and_panics() {
+        let src = "\
+struct S;\n\
+impl S {\n\
+    fn f(&self) {\n\
+        let g = self.cache.write();\n\
+        self.probe();\n\
+        helper(g.len());\n\
+    }\n\
+    fn probe(&self) {}\n\
+}\n\
+fn helper(n: usize) { n.to_string().parse().unwrap(); }\n";
+        let facts = facts_of("crates/core/src/a.rs", src);
+        assert_eq!(facts.len(), 3);
+        let f = &facts[0];
+        assert_eq!(f.qual, "S::f");
+        assert_eq!(f.locks.len(), 1);
+        assert_eq!(f.locks[0].class, "core::cache");
+        // Both the self-method and the free call are made while the guard
+        // is held.
+        let call_names: Vec<(&str, bool)> = f
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), !c.held.is_empty()))
+            .collect();
+        assert!(call_names.contains(&("probe", true)));
+        assert!(call_names.contains(&("helper", true)));
+        // helper's unwrap is a panic fact.
+        assert_eq!(facts[2].panics.len(), 1);
+        assert_eq!(facts[2].panics[0].what, "unwrap");
+    }
+
+    #[test]
+    fn temporary_guards_die_at_statement_end() {
+        let src = "\
+fn f(&self) {\n\
+    self.pool.lock().push(1);\n\
+    other();\n\
+}\n";
+        let facts = facts_of("crates/core/src/a.rs", src);
+        let f = &facts[0];
+        let other = f.calls.iter().find(|c| c.name == "other").unwrap();
+        assert!(other.held.is_empty(), "temporary guard leaked: {other:?}");
+    }
+
+    #[test]
+    fn let_guards_die_at_block_end_or_drop() {
+        let src = "\
+fn f(&self) {\n\
+    { let g = self.a.lock(); used(); }\n\
+    after_block();\n\
+    let h = self.b.lock();\n\
+    drop(h);\n\
+    after_drop();\n\
+}\n";
+        let facts = facts_of("crates/core/src/a.rs", src);
+        let f = &facts[0];
+        let held_at = |name: &str| {
+            f.calls
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.held.clone())
+                .unwrap_or_default()
+        };
+        assert_eq!(held_at("used"), vec!["core::a".to_string()]);
+        assert!(held_at("after_block").is_empty());
+        assert!(held_at("after_drop").is_empty());
+    }
+
+    #[test]
+    fn get_or_init_holds_its_slot_for_the_closure() {
+        let src = "\
+fn f(&self) {\n\
+    let v = slot.get_or_init(|| build_view());\n\
+    outside();\n\
+}\n";
+        let facts = facts_of("crates/core/src/a.rs", src);
+        let f = &facts[0];
+        let build = f.calls.iter().find(|c| c.name == "build_view").unwrap();
+        assert_eq!(build.held, vec!["core::slot".to_string()]);
+        let outside = f.calls.iter().find(|c| c.name == "outside").unwrap();
+        assert!(outside.held.is_empty());
+    }
+
+    #[test]
+    fn nested_acquisition_yields_a_lock_edge_and_cycles_are_visible() {
+        let a = "\
+fn ab(&self) {\n\
+    let g = self.alpha.lock();\n\
+    let h = self.beta.lock();\n\
+    g.merge(h);\n\
+}\n";
+        let b = "\
+fn ba(&self) {\n\
+    let g = self.beta.lock();\n\
+    let h = self.alpha.lock();\n\
+    g.merge(h);\n\
+}\n";
+        let mut fns = facts_of("crates/core/src/a.rs", a);
+        fns.extend(facts_of("crates/core/src/b.rs", b));
+        let ws = Workspace::build(fns);
+        let edges = ws.lock_edges();
+        let pairs: Vec<(&str, &str)> = edges
+            .iter()
+            .map(|e| (e.from.as_str(), e.to.as_str()))
+            .collect();
+        assert!(pairs.contains(&("core::alpha", "core::beta")));
+        assert!(pairs.contains(&("core::beta", "core::alpha")));
+    }
+
+    #[test]
+    fn interprocedural_lock_edge_via_call() {
+        let src = "\
+fn outer(&self) {\n\
+    let g = self.alpha.lock();\n\
+    inner(g.key());\n\
+}\n\
+fn inner(k: u32) {\n\
+    let h = GLOBAL.beta.lock();\n\
+    h.touch(k);\n\
+}\n";
+        let ws = Workspace::build(facts_of("crates/core/src/a.rs", src));
+        let edges = ws.lock_edges();
+        assert!(
+            edges.iter().any(|e| e.from == "core::alpha"
+                && e.to == "core::GLOBAL.beta"
+                && e.how.contains("inner")),
+            "{edges:?}"
+        );
+    }
+
+    #[test]
+    fn can_panic_propagates_three_deep_but_not_into_discipline_scope() {
+        // bench-crate helpers (no panic discipline) panic three deep.
+        let helpers = "\
+pub fn level1() { level2(); }\n\
+fn level2() { level3(); }\n\
+fn level3() { boom.unwrap(); }\n\
+fn clean() {}\n";
+        let fns = facts_of("crates/bench/src/helpers.rs", helpers);
+        let ws = Workspace::build(fns);
+        let can = ws.can_panic();
+        let by_name = |n: &str| {
+            ws.fns
+                .iter()
+                .position(|f| f.simple == n)
+                .unwrap_or_else(|| panic!("{n} missing"))
+        };
+        assert!(can[by_name("level1")]);
+        assert!(can[by_name("level2")]);
+        assert!(can[by_name("level3")]);
+        assert!(!can[by_name("clean")]);
+        let witness = ws.panic_witness(by_name("level1"), &can).unwrap();
+        assert_eq!(witness.len(), 3);
+    }
+
+    #[test]
+    fn discipline_fns_are_not_sources_and_allowed_sites_are_excluded() {
+        // In discipline scope an unwrap is a *direct* finding, not a source;
+        // an allowed unwrap is proven and excluded everywhere.
+        let src = "\
+fn direct() { x.unwrap(); }\n\
+fn proven() { y.unwrap() } // itspq-lint: allow(no-panic-in-lib, \"y seeded\")\n";
+        let ws = Workspace::build(facts_of("crates/core/src/a.rs", src));
+        let can = ws.can_panic();
+        assert!(can.iter().all(|&c| !c), "{:?}", ws.fns);
+        assert!(
+            ws.fns[1].panics.is_empty(),
+            "allowed site leaked into facts"
+        );
+    }
+
+    #[test]
+    fn test_files_and_cfg_test_fns_contribute_nothing() {
+        let src = "fn t() { x.unwrap(); }\n";
+        assert!(facts_of("crates/core/tests/t.rs", src).is_empty());
+        let gated = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n";
+        let facts = facts_of("crates/core/src/a.rs", gated);
+        assert!(facts.iter().all(|f| f.is_test));
+        let ws = Workspace::build(facts);
+        assert!(ws.can_panic().iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn self_method_resolution_uses_the_enclosing_impl_type() {
+        let src = "\
+struct A;\n\
+struct B;\n\
+impl A { fn go(&self) { self.helper(); } fn helper(&self) { x.unwrap(); } }\n\
+impl B { fn helper(&self) {} }\n";
+        let ws = Workspace::build(facts_of("crates/bench/src/a.rs", src));
+        let go = ws.fns.iter().position(|f| f.qual == "A::go").unwrap();
+        let call = &ws.fns[go].calls[0];
+        let resolved = ws.resolve(go, call);
+        assert_eq!(resolved.len(), 1);
+        assert_eq!(ws.fns[resolved[0]].qual, "A::helper");
+    }
+}

@@ -95,6 +95,7 @@ struct Lexer<'a> {
 
 impl Lexer<'_> {
     fn run(mut self) -> Vec<Token> {
+        self.skip_shebang();
         while self.pos < self.bytes.len() {
             let (line, col, start) = (self.line, self.col, self.pos);
             let kind = self.next_kind();
@@ -113,6 +114,25 @@ impl Lexer<'_> {
 
     fn peek(&self, ahead: usize) -> u8 {
         *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Consumes a leading `#!…` interpreter line as a [`TokenKind::LineComment`]
+    /// token, per the language's shebang rule: only at byte 0, and only when
+    /// not followed by `[` (so inner attributes like `#![forbid(unsafe_code)]`
+    /// still tokenise as code).
+    fn skip_shebang(&mut self) {
+        if self.pos == 0 && self.peek(0) == b'#' && self.peek(1) == b'!' && self.peek(2) != b'[' {
+            while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+                self.bump();
+            }
+            self.out.push(Token {
+                kind: TokenKind::LineComment,
+                start: 0,
+                end: self.pos,
+                line: 1,
+                col: 1,
+            });
+        }
     }
 
     /// Consumes one char, maintaining line/col. Multi-byte UTF-8 chars count
@@ -220,7 +240,8 @@ impl Lexer<'_> {
         Some(TokenKind::Punct)
     }
 
-    /// `r"…"`, `r#"…"#`, `br#"…"#`, `b"…"`, `b'x'`, `c"…"`, `r#ident`.
+    /// `r"…"`, `r#"…"#`, `br#"…"#`, `b"…"`, `b'x'`, `c"…"`, `cr#"…"#`,
+    /// `r#ident`.
     fn try_prefixed_literal(&mut self) -> Option<TokenKind> {
         let b = self.peek(0);
         let (raw_at, quote_at) = match (b, self.peek(1)) {
@@ -232,7 +253,7 @@ impl Lexer<'_> {
                 self.consume_quoted(b'\'');
                 return Some(TokenKind::Char);
             }
-            (b'b', b'r') if matches!(self.peek(2), b'"' | b'#') => (1, 2),
+            (b'b' | b'c', b'r') if matches!(self.peek(2), b'"' | b'#') => (1, 2),
             _ => return None,
         };
         if raw_at != usize::MAX {
@@ -475,6 +496,48 @@ mod tests {
         let got = kinds("r#try + r#\"raw\"#");
         assert_eq!(got[0], (TokenKind::Ident, "r#try".into()));
         assert_eq!(got[2].0, TokenKind::Str);
+    }
+
+    #[test]
+    fn shebang_line_is_a_comment_not_code() {
+        let got = kinds("#!/usr/bin/env run-cargo-script\nfn main() { x.unwrap(); }\n");
+        assert_eq!(got[0].0, TokenKind::LineComment);
+        assert!(got[0].1.starts_with("#!/usr/bin/env"));
+        // The interpreter path never leaks as Punct/Ident soup.
+        assert_eq!(got[1], (TokenKind::Ident, "fn".into()));
+    }
+
+    #[test]
+    fn inner_attribute_is_not_a_shebang() {
+        let got = kinds("#![forbid(unsafe_code)]\nfn f() {}\n");
+        assert_eq!(got[0], (TokenKind::Punct, "#".into()));
+        assert_eq!(got[1], (TokenKind::Punct, "!".into()));
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "forbid"));
+    }
+
+    #[test]
+    fn shebang_only_counts_at_byte_zero() {
+        let got = kinds("fn f() {}\n#!/not/a/shebang\n");
+        // Past byte 0 the same bytes tokenise as punctuation and idents.
+        assert!(got.iter().any(|(k, t)| *k == TokenKind::Punct && t == "#"));
+    }
+
+    #[test]
+    fn c_string_contents_do_not_leak() {
+        let got = kinds(r#"let s = c"a.unwrap() == 1.0";"#);
+        assert!(got.iter().all(|(_, t)| t != "unwrap"));
+        assert_eq!(got.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn c_raw_string_with_hashes_is_one_token() {
+        let src = r###"cr#"has "quotes" and panic!()"# + 2"###;
+        let got = kinds(src);
+        assert_eq!(got[0].0, TokenKind::Str);
+        assert_eq!(got[1], (TokenKind::Punct, "+".into()));
+        assert_eq!(got[2].0, TokenKind::Int);
     }
 
     #[test]

@@ -11,14 +11,24 @@
 //!    skipped *correctly* — a `unwrap()` inside a string is not a finding);
 //! 2. [`source`] classifies the file (crate, lib/test/bench/example/vendor)
 //!    and computes `#[cfg(test)]` regions so inline test modules are exempt;
-//! 3. every [`rules::Rule`] scans the token stream and emits
+//! 3. [`parser`] builds a brace-matched item tree (modules, fns, impls,
+//!    imports) over the token stream;
+//! 4. every token-layer [`rules::Rule`] scans the file and emits
 //!    [`diag::Diagnostic`]s with `file:line:col` positions;
-//! 4. [`allow`] parses `// itspq-lint: allow(<rule>, "<justification>")`
+//! 5. [`graph`] distils each file into function facts — calls, lock
+//!    acquisitions with held-sets, panic sites — and aggregates them into a
+//!    workspace symbol table, approximate call graph and lock graph over
+//!    which the graph-layer [`rules::WorkspaceRule`]s run;
+//! 6. [`allow`] parses `// itspq-lint: allow(<rule>, "<justification>")`
 //!    directives — themselves checked: no justification, unknown rule or a
 //!    stale (unused) allow is an `allow-discipline` error;
-//! 5. [`engine`] aggregates per-file outcomes into a workspace [`Report`].
+//! 7. [`engine`] suppresses, aggregates into a workspace [`Report`], and
+//!    optionally caches per-file analyses by content hash so warm runs
+//!    re-lex nothing.
 //!
 //! ## Rules
+//!
+//! Token layer (per file):
 //!
 //! | rule | invariant |
 //! |---|---|
@@ -27,6 +37,15 @@
 //! | `lock-scope` | no `let`-bound lock guard living across a cache-build or closure call |
 //! | `scoped-threads-only` | no `std::thread::spawn` outside `crates/bench` |
 //! | `no-wall-clock-in-core` | no `Instant`/`SystemTime` in `crates/core` library code |
+//! | `nondet-iteration` | no `HashMap`/`HashSet` iteration in parity-critical modules |
+//! | `float-determinism` | no `mul_add`, `partial_cmp` comparators or unordered float sums there |
+//!
+//! Graph layer (whole workspace):
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `lock-order` | the workspace lock-acquisition graph is acyclic |
+//! | `panic-reachability` | disciplined lib fns cannot transitively reach a panic site |
 //!
 //! See `ARCHITECTURE.md` (§ *Static analysis & invariants*) for the policy
 //! and `cargo run -p itspq-lint -- --list-rules` for the live catalogue.
@@ -36,13 +55,22 @@
 pub mod allow;
 pub mod diag;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod source;
 
 pub use allow::{collect_allows, Allow, ALLOW_RULE};
 pub use diag::{Diagnostic, Severity};
-pub use engine::{collect_workspace_allows, lint_source, lint_workspace, FileOutcome, Report};
+pub use engine::{
+    audit_allows, audit_workspace_allows, collect_workspace_allows, lint_files, lint_source,
+    lint_workspace, lint_workspace_cached, AllowAudit, CacheStats, FileOutcome, Report,
+};
+pub use graph::{extract_facts, FnFact, Workspace};
 pub use lexer::{lex, Token, TokenKind};
-pub use rules::{all_rules, is_known_rule, Rule};
-pub use source::{classify, FileCtx, FileKind, FileView, LIB_DISCIPLINE_CRATES};
+pub use parser::{parse, Item, ItemKind, ItemTree};
+pub use rules::{all_rules, is_known_rule, workspace_rules, Rule, WorkspaceRule};
+pub use source::{
+    classify, FileCtx, FileKind, FileView, LIB_DISCIPLINE_CRATES, PARITY_CRITICAL_FILES,
+};

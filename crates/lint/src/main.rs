@@ -1,7 +1,8 @@
 //! The `itspq-lint` CLI.
 //!
 //! ```text
-//! itspq-lint [ROOT] [--deny] [--budget-secs N] [--list-rules] [--list-allows]
+//! itspq-lint [ROOT] [--deny] [--budget-secs N] [--emit json] [--cache PATH]
+//!            [--list-rules] [--list-allows]
 //! ```
 //!
 //! * `ROOT` — workspace root to scan (default: the current directory).
@@ -10,9 +11,17 @@
 //! * `--budget-secs N` — fail (exit 2) if the whole run takes longer than
 //!   `N` seconds; CI pins the workspace pass under 5 s so the linter can
 //!   never become the slow job.
-//! * `--list-rules` — print the rule catalogue and exit.
-//! * `--list-allows` — print the workspace's suppression inventory
-//!   (every justified allow with its location and justification) and exit.
+//! * `--emit json` — print one machine-readable JSON object to stdout
+//!   (diagnostics, counters, elapsed time, cache hits/misses); the human
+//!   summary moves to stderr. CI archives this as a build artifact.
+//! * `--cache PATH` — incremental cache file: analyses of files whose
+//!   content hash is unchanged are reused, and the cache is rewritten after
+//!   the run. A missing or stale cache just means a cold run.
+//! * `--list-rules` — print the rule catalogue (both layers) and exit.
+//! * `--list-allows` — print the suppression inventory with a staleness
+//!   audit: every justified allow with its location, justification, and
+//!   whether it still fires on the current sources. Stale allows are
+//!   flagged here even without `--deny`.
 //!
 //! Exit codes: 0 clean (or advisory mode), 1 diagnostics under `--deny`,
 //! 2 usage/I-O error or budget exceeded.
@@ -21,12 +30,23 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use itspq_lint::{all_rules, collect_workspace_allows, lint_workspace};
+use itspq_lint::diag::json_escape;
+use itspq_lint::{
+    all_rules, audit_workspace_allows, lint_workspace_cached, workspace_rules, CacheStats, Report,
+};
+
+#[derive(PartialEq)]
+enum Emit {
+    Text,
+    Json,
+}
 
 struct Args {
     root: PathBuf,
     deny: bool,
     budget_secs: Option<f64>,
+    emit: Emit,
+    cache: Option<PathBuf>,
     list_rules: bool,
     list_allows: bool,
 }
@@ -36,6 +56,8 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         deny: false,
         budget_secs: None,
+        emit: Emit::Text,
+        cache: None,
         list_rules: false,
         list_allows: false,
     };
@@ -54,15 +76,51 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("invalid --budget-secs value `{v}`"))?;
                 args.budget_secs = Some(secs);
             }
+            "--emit" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--emit needs a value".to_string())?;
+                args.emit = match v.as_str() {
+                    "json" => Emit::Json,
+                    "text" => Emit::Text,
+                    other => return Err(format!("unknown --emit format `{other}` (json|text)")),
+                };
+            }
+            "--cache" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--cache needs a path".to_string())?;
+                args.cache = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
-                return Err("usage: itspq-lint [ROOT] [--deny] [--budget-secs N] [--list-rules] [--list-allows]"
-                    .to_string())
+                return Err(
+                    "usage: itspq-lint [ROOT] [--deny] [--budget-secs N] [--emit json] \
+                     [--cache PATH] [--list-rules] [--list-allows]"
+                        .to_string(),
+                )
             }
             other if !other.starts_with('-') => args.root = PathBuf::from(other),
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
     Ok(args)
+}
+
+fn render_json(report: &Report, elapsed: f64, cache: CacheStats) -> String {
+    let mut out = String::from("{\n  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        out.push_str(&d.to_json());
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"files\": {},\n  \"suppressed\": {},\n  \"allows_used\": {},\n  \
+         \"elapsed_secs\": {elapsed:.4},\n  \"cache\": {{\"hits\": {}, \"misses\": {}}}\n}}",
+        report.files, report.suppressed, report.allows_used, cache.hits, cache.misses,
+    ));
+    out
 }
 
 fn main() -> ExitCode {
@@ -78,19 +136,45 @@ fn main() -> ExitCode {
         for rule in all_rules() {
             println!("{:<22} {}", rule.name(), rule.description());
         }
+        for rule in workspace_rules() {
+            println!("{:<22} {}", rule.name(), rule.description());
+        }
         return ExitCode::SUCCESS;
     }
 
     if args.list_allows {
-        match collect_workspace_allows(&args.root) {
-            Ok(allows) => {
-                for (path, a) in &allows {
-                    println!(
-                        "{path}:{}: allow({}) — {}",
-                        a.comment_line, a.rule, a.justification
-                    );
+        match audit_workspace_allows(&args.root) {
+            Ok(audits) => {
+                if args.emit == Emit::Json {
+                    let rows: Vec<String> = audits
+                        .iter()
+                        .map(|a| {
+                            format!(
+                                "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\
+                                 \"justification\":\"{}\",\"used\":{}}}",
+                                json_escape(&a.path),
+                                a.allow.comment_line,
+                                json_escape(&a.allow.rule),
+                                json_escape(&a.allow.justification),
+                                a.used
+                            )
+                        })
+                        .collect();
+                    println!("[{}]", rows.join(","));
+                } else {
+                    let mut stale = 0usize;
+                    for a in &audits {
+                        let mark = if a.used { "" } else { "  [STALE]" };
+                        if !a.used {
+                            stale += 1;
+                        }
+                        println!(
+                            "{}:{}: allow({}) — {}{mark}",
+                            a.path, a.allow.comment_line, a.allow.rule, a.allow.justification
+                        );
+                    }
+                    println!("{} allows, {stale} stale", audits.len());
                 }
-                println!("{} allows", allows.len());
                 return ExitCode::SUCCESS;
             }
             Err(e) => {
@@ -101,7 +185,7 @@ fn main() -> ExitCode {
     }
 
     let start = Instant::now();
-    let report = match lint_workspace(&args.root) {
+    let (report, cache) = match lint_workspace_cached(&args.root, args.cache.as_deref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("itspq-lint: cannot scan {}: {e}", args.root.display());
@@ -110,12 +194,18 @@ fn main() -> ExitCode {
     };
     let elapsed = start.elapsed().as_secs_f64();
 
-    for d in &report.diagnostics {
-        println!("{d}");
+    if args.emit == Emit::Json {
+        println!("{}", render_json(&report, elapsed, cache));
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
     }
-    println!(
-        "itspq-lint: {} files, {} diagnostic{} ({} suppressed by {} justified allow{}), {:.2}s",
+    let summary = format!(
+        "itspq-lint: {} files ({} cached), {} diagnostic{} ({} suppressed by {} justified \
+         allow{}), {:.2}s",
         report.files,
+        cache.hits,
         report.diagnostics.len(),
         if report.diagnostics.len() == 1 {
             ""
@@ -127,6 +217,11 @@ fn main() -> ExitCode {
         if report.allows_used == 1 { "" } else { "s" },
         elapsed,
     );
+    if args.emit == Emit::Json {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
+    }
 
     if let Some(budget) = args.budget_secs {
         if elapsed > budget {

@@ -16,6 +16,7 @@
 
 use crate::diag::Diagnostic;
 use crate::lexer::TokenKind;
+use crate::parser::ItemTree;
 use crate::rules::{diag, Rule};
 use crate::source::FileView;
 
@@ -31,7 +32,7 @@ impl Rule for FloatTotalOrder {
         "no NaN-unsafe partial_cmp().unwrap() chains or ==/!= against float literals"
     }
 
-    fn check(&self, view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    fn check(&self, view: &FileView<'_>, _tree: &ItemTree, out: &mut Vec<Diagnostic>) {
         if !view.ctx.lib_discipline() {
             return;
         }
@@ -95,7 +96,7 @@ mod tests {
         let ctx = classify("crates/core/src/a.rs");
         let view = FileView::new(&ctx, src);
         let mut out = Vec::new();
-        FloatTotalOrder.check(&view, &mut out);
+        FloatTotalOrder.check(&view, &crate::parser::parse(&view), &mut out);
         out
     }
 

@@ -1,0 +1,208 @@
+//! `lock-order`: the workspace lock-acquisition graph must be acyclic.
+//!
+//! An edge `A → B` means some function can wait on lock class `B` while
+//! holding `A` — either by nesting two acquisitions directly or by calling
+//! (while holding `A`) a function that transitively acquires `B`. A cycle
+//! in that graph is a deadlock waiting for the right interleaving: two
+//! workers entering the cycle from different classes block each other
+//! forever, and the batch engine's parity harness can't even observe it —
+//! the run just hangs.
+//!
+//! Each cycle is reported **once**, at the witness site of one of its
+//! edges, with the full class cycle and the functions it threads through.
+//! The fix is a global acquisition order (acquire in cycle-breaking order,
+//! or collapse the two locks into one); an allow needs to argue why the
+//! interleaving is impossible (e.g. the two paths are proven mutually
+//! exclusive).
+//!
+//! Resolution is the approximate same-crate call graph of [`crate::graph`]:
+//! over-approximate, so a reported cycle can be a false positive through an
+//! infeasible path — but a real cycle through resolvable calls is never
+//! missed.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::graph::{LockEdge, Workspace};
+use crate::rules::WorkspaceRule;
+
+/// See the module docs.
+pub struct LockOrder;
+
+impl WorkspaceRule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "the workspace lock-acquisition graph must be acyclic (deadlock freedom)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let edges = ws.lock_edges();
+        let mut adj: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+        for e in &edges {
+            adj.entry(e.from.as_str()).or_default().push(e);
+        }
+        let mut reported: Vec<Vec<String>> = Vec::new();
+        for e in &edges {
+            if e.from == e.to {
+                // Direct re-entrant acquisition: a cycle of length one.
+                let sig = vec![e.from.clone()];
+                if reported.contains(&sig) {
+                    continue;
+                }
+                reported.push(sig);
+                out.push(cycle_diag(
+                    e,
+                    std::slice::from_ref(&e.from),
+                    std::slice::from_ref(&e.via_fn),
+                ));
+                continue;
+            }
+            // Cycle through e: does e.to reach e.from?
+            let Some(back) = path(&adj, &e.to, &e.from) else {
+                continue;
+            };
+            // Canonical signature: the sorted class set of the cycle.
+            let mut classes: Vec<String> = std::iter::once(e.from.clone())
+                .chain(back.iter().map(|b| b.from.clone()))
+                .collect();
+            classes.sort();
+            classes.dedup();
+            if reported.contains(&classes) {
+                continue;
+            }
+            reported.push(classes);
+            let cycle: Vec<String> = std::iter::once(e.from.clone())
+                .chain(std::iter::once(e.to.clone()))
+                .chain(back.iter().skip(1).map(|b| b.from.clone()))
+                .collect();
+            let vias: Vec<String> = std::iter::once(e.via_fn.clone())
+                .chain(back.iter().map(|b| b.via_fn.clone()))
+                .collect();
+            out.push(cycle_diag(e, &cycle, &vias));
+        }
+    }
+}
+
+/// Shortest edge path `from → … → to` in the lock graph (BFS; `None` when
+/// unreachable). Returns the edges along the path.
+fn path<'a>(
+    adj: &BTreeMap<&str, Vec<&'a LockEdge>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<&'a LockEdge>> {
+    let mut prev: BTreeMap<&str, &'a LockEdge> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(from);
+    while let Some(cur) = queue.pop_front() {
+        if cur == to {
+            let mut chain: Vec<&'a LockEdge> = Vec::new();
+            let mut c = cur;
+            while c != from {
+                let e = prev[c];
+                chain.push(e);
+                c = e.from.as_str();
+            }
+            chain.reverse();
+            return Some(chain);
+        }
+        for e in adj.get(cur).map(Vec::as_slice).unwrap_or_default() {
+            let nxt = e.to.as_str();
+            if nxt != from && !prev.contains_key(nxt) {
+                prev.insert(nxt, e);
+                queue.push_back(nxt);
+            }
+        }
+    }
+    None
+}
+
+fn cycle_diag(witness: &LockEdge, cycle: &[String], vias: &[String]) -> Diagnostic {
+    let mut ring = cycle.join(" -> ");
+    ring.push_str(" -> ");
+    ring.push_str(&cycle[0]);
+    let mut fns: Vec<&str> = vias.iter().map(String::as_str).collect();
+    fns.dedup();
+    Diagnostic {
+        rule: "lock-order",
+        severity: Severity::Error,
+        path: witness.path.clone(),
+        line: witness.line,
+        col: witness.col,
+        message: format!(
+            "lock-order cycle {ring} (via {}) — here {}; break the cycle with a \
+             global acquisition order or merge the locks",
+            fns.join(", "),
+            witness.how
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::extract_facts;
+    use crate::parser::parse;
+    use crate::source::{classify, FileView};
+
+    fn workspace_of(files: &[(&str, &str)]) -> Workspace {
+        let mut fns = Vec::new();
+        for (path, src) in files {
+            let ctx = classify(path);
+            let view = FileView::new(&ctx, src);
+            let tree = parse(&view);
+            let (allows, _) = crate::allow::collect_allows(&view);
+            fns.extend(extract_facts(&view, &tree, &allows));
+        }
+        Workspace::build(fns)
+    }
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        LockOrder.check(&workspace_of(files), &mut out);
+        out
+    }
+
+    #[test]
+    fn two_lock_cycle_across_files_is_one_finding() {
+        let a = "fn ab(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); g.m(h); }\n";
+        let b = "fn ba(&self) { let g = self.beta.lock(); let h = self.alpha.lock(); g.m(h); }\n";
+        let out = run(&[("crates/core/src/a.rs", a), ("crates/core/src/b.rs", b)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("core::alpha"));
+        assert!(out[0].message.contains("core::beta"));
+    }
+
+    #[test]
+    fn consistent_nesting_is_clean() {
+        let a = "fn ab(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); g.m(h); }\n";
+        let b =
+            "fn also_ab(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); g.m(h); }\n";
+        assert!(run(&[("crates/core/src/a.rs", a), ("crates/core/src/b.rs", b),]).is_empty());
+    }
+
+    #[test]
+    fn interprocedural_cycle_is_found() {
+        let src = "\
+fn left(&self) { let g = self.alpha.lock(); helper(g.k()); }\n\
+fn helper(k: u32) { let h = SHARED.beta.lock(); h.t(k); }\n\
+fn right(&self) { let g = SHARED.beta.lock(); other(g.k()); }\n\
+fn other(k: u32) { let h = SELF.alpha.lock(); h.t(k); }\n";
+        // `self.alpha` and `SELF.alpha` are different chains; align them.
+        let src = src.replace("SELF.alpha", "self.alpha");
+        // self-receiver elides, so the class is `core::alpha` both times —
+        // but `SHARED.beta` renders `core::SHARED.beta` consistently.
+        let out = run(&[("crates/core/src/a.rs", src.as_str())]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("cycle"));
+    }
+
+    #[test]
+    fn reentrant_same_lock_is_a_unit_cycle() {
+        let src = "fn f(&self) { let g = self.alpha.lock(); let h = self.alpha.lock(); g.m(h); }\n";
+        let out = run(&[("crates/core/src/a.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+}

@@ -18,6 +18,7 @@
 //! Guards that die inside their own statement are never flagged.
 
 use crate::diag::Diagnostic;
+use crate::parser::ItemTree;
 use crate::rules::{diag, Rule};
 use crate::source::FileView;
 
@@ -36,7 +37,7 @@ impl Rule for LockScope {
         "no let-bound lock guard living across a cache-build or closure call"
     }
 
-    fn check(&self, view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    fn check(&self, view: &FileView<'_>, _tree: &ItemTree, out: &mut Vec<Diagnostic>) {
         if !view.ctx.lib_discipline() {
             return;
         }
@@ -151,7 +152,7 @@ mod tests {
         let ctx = classify("crates/core/src/a.rs");
         let view = FileView::new(&ctx, src);
         let mut out = Vec::new();
-        LockScope.check(&view, &mut out);
+        LockScope.check(&view, &crate::parser::parse(&view), &mut out);
         out
     }
 

@@ -1,0 +1,184 @@
+//! `panic-reachability`: the interprocedural lift of `no-panic-in-lib`.
+//!
+//! `no-panic-in-lib` proves each disciplined library function free of
+//! *direct* panic sites — but a clean function that calls a helper in a
+//! non-disciplined crate (or a binary) whose body `unwrap`s is one bad
+//! input away from poisoning a worker pool all the same. This rule walks
+//! the approximate same-crate call graph: a disciplined library function
+//! may not transitively reach an unallowed panic site.
+//!
+//! A finding is reported at the **call site** whose callee can panic, with
+//! the witness chain down to the concrete site. Silence it with
+//! `allow(panic-reachability, "…")` on the call line — the allow cuts that
+//! edge out of propagation (so callers of *this* function stop inheriting
+//! the panickiness) while keeping the allow exercised and therefore
+//! staleness-checked.
+//!
+//! Panic sites already covered by a justified `allow(no-panic-in-lib)` are
+//! proven-unreachable by their own argument and never count as sources.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::graph::Workspace;
+use crate::rules::WorkspaceRule;
+
+/// See the module docs.
+pub struct PanicReachability;
+
+impl WorkspaceRule for PanicReachability {
+    fn name(&self) -> &'static str {
+        "panic-reachability"
+    }
+
+    fn description(&self) -> &'static str {
+        "disciplined lib fns may not transitively reach unwrap/panic! via workspace calls"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        let can = ws.can_panic();
+        for (i, f) in ws.fns.iter().enumerate() {
+            if !f.discipline {
+                continue;
+            }
+            for call in &f.calls {
+                // Allowed calls are still reported here — the engine
+                // suppresses the finding against the allow (marking it
+                // used); only *propagation* to callers is cut, in
+                // [`Workspace::can_panic`].
+                let Some(&bad) = ws.resolve(i, call).iter().find(|&&j| can[j]) else {
+                    continue;
+                };
+                let witness = ws
+                    .panic_witness(bad, &can)
+                    .map(|chain| describe(ws, &chain))
+                    .unwrap_or_else(|| ws.fns[bad].qual.clone());
+                out.push(Diagnostic {
+                    rule: "panic-reachability",
+                    severity: Severity::Error,
+                    path: f.path.clone(),
+                    line: call.line,
+                    col: call.col,
+                    message: format!(
+                        "`{}` can panic: {witness}; make the callee total (return \
+                         Result/Option) or justify with allow(panic-reachability, ..)",
+                        call.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Renders a witness chain `f -> g -> h (unwrap at path:line)`.
+fn describe(ws: &Workspace, chain: &[usize]) -> String {
+    let names: Vec<&str> = chain.iter().map(|&j| ws.fns[j].qual.as_str()).collect();
+    let site = chain
+        .last()
+        .map(|&j| &ws.fns[j])
+        .and_then(|last| {
+            last.panics
+                .first()
+                .map(|p| format!(" ({} at {}:{})", p.what, last.path, p.line))
+        })
+        .unwrap_or_default();
+    format!("{}{site}", names.join(" -> "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::extract_facts;
+    use crate::parser::parse;
+    use crate::source::{classify, FileView};
+
+    fn run(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let mut fns = Vec::new();
+        for (path, src) in files {
+            let ctx = classify(path);
+            let view = FileView::new(&ctx, src);
+            let tree = parse(&view);
+            let (allows, _) = crate::allow::collect_allows(&view);
+            fns.extend(extract_facts(&view, &tree, &allows));
+        }
+        let mut out = Vec::new();
+        PanicReachability.check(&Workspace::build(fns), &mut out);
+        out
+    }
+
+    #[test]
+    fn three_deep_transitive_panic_is_reported_with_a_witness() {
+        // `main.rs` is Bin: panic sites there are legal locally but must not
+        // be reachable from disciplined lib code in the same crate.
+        let lib = "pub fn answer() -> u32 { helper_chain() }\n";
+        let binf = "\
+fn helper_chain() -> u32 { deeper() }\n\
+fn deeper() -> u32 { deepest() }\n\
+fn deepest() -> u32 { std::env::var(\"X\").unwrap().parse().unwrap() }\n\
+fn main() { answer(); }\n";
+        let out = run(&[
+            ("crates/lint/src/lib.rs", lib),
+            ("crates/lint/src/main.rs", binf),
+        ]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("helper_chain -> deeper -> deepest"));
+        assert!(out[0].message.contains("unwrap"));
+        assert_eq!(out[0].path, "crates/lint/src/lib.rs");
+    }
+
+    #[test]
+    fn clean_call_chains_are_clean() {
+        let lib = "pub fn answer() -> u32 { helper() }\n";
+        let binf = "fn helper() -> u32 { 42 }\nfn main() { answer(); }\n";
+        assert!(run(&[
+            ("crates/lint/src/lib.rs", lib),
+            ("crates/lint/src/main.rs", binf),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn allow_cuts_propagation_but_still_reports_at_the_site() {
+        // `mid` allows its panicking call; `top` calls `mid`. The allowed
+        // site is still reported (the engine suppresses it against the
+        // allow, keeping it exercised) but `top` inherits nothing.
+        let lib = "\
+pub fn top() -> u32 { mid() }\n\
+pub fn mid() -> u32 {\n\
+    helper() // itspq-lint: allow(panic-reachability, \"input validated upstream\")\n\
+}\n";
+        let binf = "fn helper() -> u32 { x.unwrap() }\nfn main() {}\n";
+        let out = run(&[
+            ("crates/lint/src/lib.rs", lib),
+            ("crates/lint/src/main.rs", binf),
+        ]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 3, "must point at the allowed call, not `top`");
+    }
+
+    #[test]
+    fn allowed_panic_sites_are_not_sources() {
+        let lib = "pub fn answer() -> u32 { helper() }\n";
+        let binf = "\
+fn helper() -> u32 {\n\
+    x.unwrap() // itspq-lint: allow(no-panic-in-lib, \"x is infallible here\")\n\
+}\n\
+fn main() {}\n";
+        assert!(run(&[
+            ("crates/lint/src/lib.rs", lib),
+            ("crates/lint/src/main.rs", binf),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn calls_from_test_gated_code_are_exempt() {
+        let lib = "\
+#[cfg(test)]\n\
+mod tests { fn t() { helper(); } }\n";
+        let binf = "fn helper() -> u32 { x.unwrap() }\nfn main() {}\n";
+        assert!(run(&[
+            ("crates/lint/src/lib.rs", lib),
+            ("crates/lint/src/main.rs", binf),
+        ])
+        .is_empty());
+    }
+}

@@ -11,6 +11,7 @@
 //! method calls (`scope.spawn(..)`) are the idiom and are not flagged.
 
 use crate::diag::Diagnostic;
+use crate::parser::ItemTree;
 use crate::rules::{diag, Rule};
 use crate::source::{FileKind, FileView};
 
@@ -26,7 +27,7 @@ impl Rule for ScopedThreadsOnly {
         "no std::thread::spawn outside crates/bench; thread::scope is the idiom"
     }
 
-    fn check(&self, view: &FileView<'_>, out: &mut Vec<Diagnostic>) {
+    fn check(&self, view: &FileView<'_>, _tree: &ItemTree, out: &mut Vec<Diagnostic>) {
         if view.ctx.kind == FileKind::Vendor || view.ctx.crate_name == "bench" {
             return;
         }
@@ -59,7 +60,7 @@ mod tests {
         let ctx = classify(path);
         let view = FileView::new(&ctx, src);
         let mut out = Vec::new();
-        ScopedThreadsOnly.check(&view, &mut out);
+        ScopedThreadsOnly.check(&view, &crate::parser::parse(&view), &mut out);
         out
     }
 

@@ -38,6 +38,23 @@ pub const LIB_DISCIPLINE_CRATES: &[&str] = &[
     "itspq-repro",
 ];
 
+/// The files whose code sits on the byte-identical answer path: batch
+/// planning and scatter, shared execution, certified replay and the
+/// one-to-many lattice. Determinism rules (`nondet-iteration`,
+/// `float-determinism`) fire only here — everywhere else, iteration order
+/// and float reductions cannot reach an answer or a `BatchStats` field.
+///
+/// To extend the set, add the workspace-relative path here and justify the
+/// addition in `ARCHITECTURE.md` (§ *Static analysis & invariants*).
+pub const PARITY_CRITICAL_FILES: &[&str] = &[
+    "crates/core/src/framework.rs",
+    "crates/core/src/replay.rs",
+    "crates/core/src/server.rs",
+    "crates/core/src/one_to_many.rs",
+    "crates/core/src/engine_syn.rs",
+    "crates/core/src/engine_asyn.rs",
+];
+
 /// Where a file sits: path, owning crate and role.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileCtx {
@@ -55,6 +72,13 @@ impl FileCtx {
     #[must_use]
     pub fn lib_discipline(&self) -> bool {
         self.kind == FileKind::Lib && LIB_DISCIPLINE_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    /// Whether determinism rules (`nondet-iteration`, `float-determinism`)
+    /// apply here — exact-path membership in [`PARITY_CRITICAL_FILES`].
+    #[must_use]
+    pub fn parity_critical(&self) -> bool {
+        PARITY_CRITICAL_FILES.contains(&self.path.as_str())
     }
 }
 

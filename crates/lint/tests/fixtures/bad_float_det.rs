@@ -1,0 +1,17 @@
+//! Fixture: the three float idioms that break bit-reproducibility, linted
+//! as if this were `crates/core/src/framework.rs` (parity-critical). Each
+//! one produces answers that depend on codegen, NaN handling or iteration
+//! order rather than on the query.
+
+/// BAD: `mul_add` rounds once only where the target emits FMA, so the
+/// same door weights produce different bytes on different machines.
+pub fn door_cost(dist: f64, velocity: f64, penalty: f64) -> f64 {
+    dist.mul_add(velocity, penalty)
+}
+
+/// BAD: a `partial_cmp` comparator is not total (NaN) and ties break by
+/// input order; plus BAD: an unordered `f64` sum re-associates rounding.
+pub fn rank_candidates(cands: &mut Vec<Candidate>) -> f64 {
+    cands.sort_by(|a, b| a.cost.partial_cmp(&b.cost).unwrap_or(Ordering::Equal));
+    cands.iter().map(|c| c.cost).sum::<f64>()
+}

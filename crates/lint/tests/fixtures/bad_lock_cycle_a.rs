@@ -1,0 +1,18 @@
+//! Fixture: one half of a two-file lock-order cycle. This file acquires
+//! `PAIR.alpha` and, while holding it, calls into `bad_lock_cycle_b.rs`,
+//! which acquires `PAIR.beta` — the `alpha → beta` edge. The back edge
+//! lives in the other file; neither file is suspicious alone.
+
+/// Flushes alpha-owned state into beta: takes `alpha`, then crosses into
+/// `merge_into_beta` (which takes `beta`) while still holding it.
+pub fn flush_alpha_then_beta() {
+    let g = PAIR.alpha.lock();
+    merge_into_beta(&g);
+}
+
+/// Takes the alpha lock alone — the target of the cycle's back edge from
+/// `flush_beta_then_alpha` in the sibling file.
+pub fn touch_alpha() {
+    let g = PAIR.alpha.lock();
+    g.bump();
+}

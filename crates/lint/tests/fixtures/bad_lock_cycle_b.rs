@@ -1,0 +1,18 @@
+//! Fixture: the other half of the two-file lock-order cycle. This file
+//! acquires `PAIR.beta` and, while holding it, calls `touch_alpha` back in
+//! `bad_lock_cycle_a.rs` — the `beta → alpha` edge that closes the ring.
+
+/// Absorbs alpha-owned state: called from the sibling file while `alpha`
+/// is held, so the `beta` acquisition here is the forward edge's far end.
+pub fn merge_into_beta(src: &AlphaState) {
+    let h = PAIR.beta.lock();
+    h.absorb(src);
+}
+
+/// The back edge: takes `beta`, then re-enters the sibling file's
+/// `touch_alpha` (which takes `alpha`) while still holding it.
+pub fn flush_beta_then_alpha() {
+    let h = PAIR.beta.lock();
+    touch_alpha();
+    h.seal();
+}

@@ -1,0 +1,30 @@
+//! Fixture: hash-order iteration on the answer path. Linted as if it were
+//! `crates/core/src/server.rs` (a parity-critical module), where both
+//! enumerations below feed values a batch answer could observe — their
+//! order is `RandomState`-dependent and varies run to run.
+
+/// Per-plan hit counters, keyed by an opaque plan id.
+pub struct HitStats {
+    hits_of: HashMap<u64, u64>,
+}
+
+impl HitStats {
+    /// Keyed lookup is fine: no enumeration, no order.
+    pub fn hits(&self, plan: u64) -> u64 {
+        self.hits_of.get(&plan).copied().unwrap_or(0)
+    }
+
+    /// BAD: `.values()` enumerates in hash order, and the collected `Vec`
+    /// leaks that order straight into whatever consumes the summary.
+    pub fn summary(&self) -> Vec<u64> {
+        self.hits_of.values().copied().collect()
+    }
+
+    /// BAD: `.keys()` in a `for` header — same unspecified order, observed
+    /// one plan at a time.
+    pub fn replay_plans(&self) {
+        for plan in self.hits_of.keys() {
+            observe(plan);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: a binary-side helper chain whose third level `unwrap`s. Panic
+//! sites are legal *locally* in a binary — but `transitive_panic_entry.rs`
+//! reaches this chain from disciplined library code, three calls deep, so
+//! `panic-reachability` must report the library call site with the full
+//! witness `parse_batch_env -> parse_level_one -> parse_level_two`.
+
+fn parse_batch_env() -> usize {
+    parse_level_one()
+}
+
+fn parse_level_one() -> usize {
+    parse_level_two()
+}
+
+fn parse_level_two() -> usize {
+    std::env::var("ITSPQ_BATCH").unwrap().parse().unwrap()
+}
+
+fn main() {
+    run_server(batch_len());
+}

@@ -1,0 +1,15 @@
+//! Fixture: the fixed twin of `bad_float_det.rs`. Two explicit roundings,
+//! a total comparator, and a left-to-right fold over an already-ordered
+//! slice — every quantity is a pure function of the inputs.
+
+/// Two roundings, same on every target: no FMA dependence.
+pub fn door_cost(dist: f64, velocity: f64, penalty: f64) -> f64 {
+    dist * velocity + penalty
+}
+
+/// `total_cmp` is total over every bit pattern, and the fold reduces the
+/// sorted slice left to right — one deterministic association.
+pub fn rank_candidates(cands: &mut Vec<Candidate>) -> f64 {
+    cands.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    cands.iter().fold(0.0, |acc, c| acc + c.cost)
+}

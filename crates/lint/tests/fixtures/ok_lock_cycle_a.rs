@@ -1,0 +1,15 @@
+//! Fixture: the fixed twin of `bad_lock_cycle_a.rs`. Both files agree on
+//! the global acquisition order `alpha` before `beta`, so the lock graph
+//! has the single edge `alpha → beta` and no cycle.
+
+/// Flushes alpha-owned state into beta, in the blessed order.
+pub fn flush_alpha_then_beta() {
+    let g = PAIR.alpha.lock();
+    merge_into_beta(&g);
+}
+
+/// Takes the alpha lock alone; nobody calls this while holding `beta`.
+pub fn touch_alpha() {
+    let g = PAIR.alpha.lock();
+    g.bump();
+}

@@ -1,0 +1,17 @@
+//! Fixture: the fixed twin of `bad_lock_cycle_b.rs`. The former back edge
+//! is gone — refreshing both sides now acquires `alpha` first and only
+//! then crosses into the beta half, matching the sibling file's order.
+
+/// Absorbs alpha-owned state under the beta lock (the far end of the one
+/// remaining edge `alpha → beta`).
+pub fn merge_into_beta(src: &AlphaState) {
+    let h = PAIR.beta.lock();
+    h.absorb(src);
+}
+
+/// Refreshes both sides in the global order: `alpha` strictly before
+/// `beta`, via the same helper the sibling file uses.
+pub fn refresh_both() {
+    let g = PAIR.alpha.lock();
+    merge_into_beta(&g);
+}

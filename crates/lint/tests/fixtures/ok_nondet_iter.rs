@@ -1,0 +1,27 @@
+//! Fixture: the fixed twin of `bad_nondet_iter.rs`. The container is a
+//! `BTreeMap`, so every enumeration below walks ascending key order —
+//! identical on every run and every worker count.
+
+/// Per-plan hit counters, keyed by an opaque plan id.
+pub struct HitStats {
+    hits_of: BTreeMap<u64, u64>,
+}
+
+impl HitStats {
+    /// Keyed lookup, unchanged from the bad twin.
+    pub fn hits(&self, plan: u64) -> u64 {
+        self.hits_of.get(&plan).copied().unwrap_or(0)
+    }
+
+    /// `.values()` on a `BTreeMap` is ascending-key order: deterministic.
+    pub fn summary(&self) -> Vec<u64> {
+        self.hits_of.values().copied().collect()
+    }
+
+    /// `for` over `.keys()` of a `BTreeMap`: same, deterministic.
+    pub fn replay_plans(&self) {
+        for plan in self.hits_of.keys() {
+            observe(plan);
+        }
+    }
+}

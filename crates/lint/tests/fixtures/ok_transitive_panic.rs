@@ -1,0 +1,22 @@
+//! Fixture: the fixed twin of `bad_transitive_panic.rs`. The deepest level
+//! now folds its failure modes into a default instead of unwrapping, so
+//! the whole chain is total and the library entry point inherits nothing.
+
+fn parse_batch_env() -> usize {
+    parse_level_one()
+}
+
+fn parse_level_one() -> usize {
+    parse_level_two()
+}
+
+fn parse_level_two() -> usize {
+    std::env::var("ITSPQ_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn main() {
+    run_server(batch_len());
+}

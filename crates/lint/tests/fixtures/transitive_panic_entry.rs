@@ -1,0 +1,11 @@
+//! Fixture: the disciplined library entry point shared by the transitive
+//! panic twins. This file is clean on its own — `batch_len` has no direct
+//! panic site — so whether `panic-reachability` fires depends entirely on
+//! which binary twin (`bad_transitive_panic.rs` / `ok_transitive_panic.rs`)
+//! it is linted together with.
+
+/// Number of queries a worker should pull per batch. Called from the
+/// server's hot loop, so it must be total: a panic here poisons a worker.
+pub fn batch_len() -> usize {
+    parse_batch_env()
+}

@@ -176,6 +176,60 @@ fn comment_contents_never_leak_tokens() {
 }
 
 #[test]
+fn c_string_contents_never_leak_tokens() {
+    let mut rng = Rng(0xC5EE_D5CC);
+    for _ in 0..2_000 {
+        let inner = random_input(&mut rng)
+            .replace(['"', '\\'], "_")
+            .replace('\n', " ");
+        let src = format!("c\"{inner}\"");
+        let tokens = lex(&src);
+        assert_eq!(tokens.len(), 1, "leak from {src:?}: {tokens:?}");
+        assert_eq!(tokens[0].kind, TokenKind::Str);
+        assert_eq!(tokens[0].text(&src), src);
+
+        // The raw C-string form shields quotes and backslashes too.
+        let raw_inner = random_input(&mut rng).replace("\"#", "_");
+        let src = format!("cr#\"{raw_inner}\"#");
+        let tokens = lex(&src);
+        assert_eq!(tokens.len(), 1, "leak from {src:?}: {tokens:?}");
+        assert_eq!(tokens[0].kind, TokenKind::Str);
+    }
+}
+
+#[test]
+fn shebang_lines_never_leak_tokens() {
+    let mut rng = Rng(0x5EBA_0001);
+    for _ in 0..2_000 {
+        // Any first line starting `#!` (but not `#![`) is one comment token,
+        // whatever soup follows the marker.
+        let soup = random_input(&mut rng).replace('\n', " ");
+        let first = format!("#!/{soup}");
+        let src = format!("{first}\nfn f() {{}}\n");
+        let tokens = lex(&src);
+        assert_eq!(tokens[0].kind, TokenKind::LineComment, "src {src:?}");
+        assert_eq!(tokens[0].text(&src), first, "src {src:?}");
+        assert_eq!(
+            tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::LineComment)
+                .count(),
+            1,
+            "src {src:?}"
+        );
+    }
+}
+
+#[test]
+fn inner_attributes_survive_the_shebang_rule() {
+    // `#![…]` files (every crate root in this workspace) must keep their
+    // attribute tokens.
+    let src = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nfn f() {}\n";
+    let tokens = lex(src);
+    assert!(tokens.iter().all(|t| t.kind != TokenKind::LineComment));
+}
+
+#[test]
 fn truncated_sources_never_panic() {
     // Cut a gnarly-but-valid source at every char boundary; the lexer must
     // survive every prefix (unterminated strings, comments, raw strings).

@@ -313,3 +313,58 @@ fn warm_earlier_departing_seeded_member_matches_per_query() {
     assert!(stats.is_consistent(), "{stats}");
     assert!(stats.warm_starts > 0, "{stats}");
 }
+
+#[test]
+fn warm_start_stats_are_identical_across_worker_counts() {
+    // The warm planner groups neighborhoods through an ordered map keyed by
+    // (partition, interval); this pin holds the whole non-timing report —
+    // including `warm_starts` and `seeded_labels` — equal between a serial
+    // and a 4-worker run of the same batch.
+    let ex = paper_example::build();
+    let elsewhere = IndoorPoint::new(ex.p3.partition, indoor_geom_point(1.0, 1.0));
+    let far = IndoorPoint::new(ex.p3.partition, indoor_geom_point(2.5, 0.5));
+    let batch = vec![
+        Query::new(ex.p3, ex.p4, TimeOfDay::hm(9, 0)),
+        Query::new(elsewhere, ex.p2, TimeOfDay::hm(9, 20)),
+        Query::new(far, ex.p4, TimeOfDay::hm(9, 40)),
+        Query::new(ex.p1, ex.p2, TimeOfDay::hm(12, 0)),
+        Query::new(elsewhere, ex.p4, TimeOfDay::hm(9, 5)),
+    ];
+    let (r1, s1) = warm_server(&ex)
+        .with_pinned_workers(1)
+        .query_batch_with_stats(&batch);
+    let (r4, s4) = warm_server(&ex)
+        .with_pinned_workers(4)
+        .query_batch_with_stats(&batch);
+    assert!(s1.warm_starts > 0, "batch must exercise donation: {s1}");
+    assert_eq!(
+        s1.timings_zeroed(),
+        s4.timings_zeroed(),
+        "warm-start stats depend on worker count"
+    );
+    for (a, b) in r1.iter().zip(&r4) {
+        assert_eq!(a.path, b.path, "warm answers depend on worker count");
+    }
+}
+
+#[test]
+fn plan_shape_is_a_pure_function_of_the_batch() {
+    // Two fresh servers must produce byte-identical plans for the same
+    // batch at every sharing level: grouping runs over ordered maps, so no
+    // hasher seed can reorder groups or rosters between processes.
+    let ex = paper_example::build();
+    let batch = mixed_batch(&ex);
+    for strategy in [
+        BatchStrategy::Shared,
+        BatchStrategy::SharedDoor,
+        BatchStrategy::SharedInterval,
+    ] {
+        let a = server(&ex, strategy).plan(&batch, false);
+        let b = server(&ex, strategy).plan(&batch, false);
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "{strategy:?}: plan differs between identical servers"
+        );
+    }
+}
